@@ -1,0 +1,48 @@
+// Shared setup for the paper-reproduction bench binaries.
+//
+// Every table/figure of the evaluation runs on the same workload: a
+// structured hex mesh of 16×20×24 = 7680 elements (divisible by every
+// studied VECTOR_SIZE: 16, 64, 128, 240, 256, 512) with the deterministic
+// Taylor–Green-style initial field.  VECFD_BENCH_SMALL=1 in the
+// environment switches to a 960-element mesh for quick runs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/advisor.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "fem/mesh.h"
+#include "fem/state.h"
+#include "metrics/metrics.h"
+#include "platforms/platforms.h"
+
+namespace vecfd::bench {
+
+inline bool small_run() {
+  const char* e = std::getenv("VECFD_BENCH_SMALL");
+  return e != nullptr && e[0] == '1';
+}
+
+struct Workload {
+  Workload()
+      : mesh(small_run()
+                 ? fem::MeshConfig{.nx = 8, .ny = 10, .nz = 12}
+                 : fem::MeshConfig{.nx = 16, .ny = 20, .nz = 24}),
+        state(mesh) {}
+  fem::Mesh mesh;
+  fem::State state;
+};
+
+/// The paper's studied VECTOR_SIZE values (§2.3).
+inline constexpr int kVectorSizes[] = {16, 64, 128, 240, 256, 512};
+
+inline void print_workload(const Workload& w) {
+  std::cout << "workload: " << w.mesh.num_elements() << " hex elements, "
+            << w.mesh.num_nodes() << " nodes"
+            << (small_run() ? " (VECFD_BENCH_SMALL)" : "") << "\n\n";
+}
+
+}  // namespace vecfd::bench

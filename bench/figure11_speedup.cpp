@@ -1,0 +1,51 @@
+// Figure 11 — "Speed-up with respect to scalar VECTOR_SIZE = 16".
+//
+// Paper: vanilla auto-vectorization reaches 3–6x (fastest at
+// VECTOR_SIZE = 240); VEC2 regresses; IVEC2 overtakes vanilla everywhere;
+// VEC1 reaches 3.5–7.6x with the maximum at VECTOR_SIZE = 240.
+#include "bench_common.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Figure 11",
+                            "speed-up vs scalar (VECTOR_SIZE = 16)");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.opt = miniapp::OptLevel::kScalar;
+  const double scalar_cycles =
+      ex.run(platforms::riscv_vec_scalar(), cfg).total_cycles;
+  std::cout << "scalar baseline (vs=16): " << core::fmt(scalar_cycles, 0)
+            << " cycles\n\n";
+
+  const miniapp::OptLevel opts[] = {
+      miniapp::OptLevel::kVanilla, miniapp::OptLevel::kVec2,
+      miniapp::OptLevel::kIVec2, miniapp::OptLevel::kVec1};
+
+  core::Table t({"VECTOR_SIZE", "original", "VEC2", "IVEC2", "VEC1"});
+  double best = 0.0;
+  int best_vs = 0;
+  for (int vs : bench::kVectorSizes) {
+    std::vector<std::string> row{std::to_string(vs)};
+    for (auto opt : opts) {
+      cfg.vector_size = vs;
+      cfg.opt = opt;
+      const auto m = ex.run(platforms::riscv_vec(), cfg);
+      const double speedup = scalar_cycles / m.total_cycles;
+      row.push_back(core::fmt_speedup(speedup));
+      if (opt == miniapp::OptLevel::kVec1 && speedup > best) {
+        best = speedup;
+        best_vs = vs;
+      }
+    }
+    t.add_row(row);
+  }
+  std::cout << t.to_string();
+  std::cout << "\nbest fully-optimized speed-up: "
+            << core::fmt_speedup(best) << " at VECTOR_SIZE = " << best_vs
+            << "   (paper: 7.6x at 240)\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 2 — "Total cycles spent in the vanilla mini-app enabling
+// auto-vectorization" vs VECTOR_SIZE.
+//
+// Paper: cycles fall steeply from VECTOR_SIZE = 16, the fastest
+// configuration is VECTOR_SIZE = 240, and 256/512 are slightly slower.
+#include "bench_common.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Figure 2",
+                            "total cycles, vanilla auto-vectorization");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+  cfg.opt = miniapp::OptLevel::kVanilla;
+
+  core::Table t({"VECTOR_SIZE", "total cycles", "vs fastest"});
+  double best = 0.0;
+  int best_vs = 0;
+  std::vector<std::pair<int, double>> rows;
+  for (int vs : bench::kVectorSizes) {
+    cfg.vector_size = vs;
+    const auto m = ex.run(platforms::riscv_vec(), cfg);
+    rows.emplace_back(vs, m.total_cycles);
+    if (best == 0.0 || m.total_cycles < best) {
+      best = m.total_cycles;
+      best_vs = vs;
+    }
+  }
+  for (const auto& [vs, cycles] : rows) {
+    t.add_row({std::to_string(vs), core::fmt(cycles, 0),
+               core::fmt(cycles / best, 3)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nfastest configuration: VECTOR_SIZE = " << best_vs
+            << "   (paper: 240)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 5 — "Absolute cycles phase 2": vanilla vs VEC2.
+//
+// Paper: making VECTOR_DIM a compile-time constant lets the compiler
+// vectorize phase 2 — and it *degrades* performance (AVL = 4; decoding,
+// issuing and dispatching vector instructions computing only 4 elements
+// produces significant overhead).
+#include "bench_common.h"
+
+#include "miniapp/driver.h"
+#include "trace/vehave_trace.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Figure 5",
+                            "phase-2 cycles: vanilla vs VEC2 (AVL = 4)");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+
+  core::Table t({"VECTOR_SIZE", "original (scalar)", "VEC2 (vl=4)",
+                 "VEC2/original"});
+  for (int vs : bench::kVectorSizes) {
+    cfg.vector_size = vs;
+    cfg.opt = miniapp::OptLevel::kVanilla;
+    const double vanilla =
+        ex.run(platforms::riscv_vec(), cfg).phase_cycles(2);
+    cfg.opt = miniapp::OptLevel::kVec2;
+    const double vec2 = ex.run(platforms::riscv_vec(), cfg).phase_cycles(2);
+    t.add_row({std::to_string(vs), core::fmt(vanilla, 0),
+               core::fmt(vec2, 0), core::fmt(vec2 / vanilla, 2)});
+  }
+  std::cout << t.to_string();
+
+  // the Vehave diagnosis: measure phase-2 AVL under VEC2
+  miniapp::MiniAppConfig c2;
+  c2.vector_size = 240;
+  c2.opt = miniapp::OptLevel::kVec2;
+  miniapp::MiniApp app(w.mesh, w.state, c2);
+  sim::Vpu vpu(platforms::riscv_vec());
+  trace::VehaveTrace tr(1u << 23);
+  vpu.set_observer(&tr);
+  (void)app.run(vpu);
+  std::cout << "\nVehave-style measured phase-2 AVL under VEC2: "
+            << core::fmt(tr.avl(2), 1)
+            << " elements of 256   (paper: 4)\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 6 — "Resulting cycles phase 2" with IVEC2 (loop interchange).
+//
+// Paper: forcing the element (ivect) dimension innermost yields vector
+// instructions with vl = VECTOR_SIZE and a phase-2 speed-up of up to 7.38x
+// vs the original at VECTOR_SIZE = 256.
+#include "bench_common.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Figure 6",
+                            "phase-2 cycles with IVEC2 (interchange)");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+
+  core::Table t({"VECTOR_SIZE", "original", "VEC2", "IVEC2",
+                 "IVEC2 speedup"});
+  double speedup256 = 0.0;
+  for (int vs : bench::kVectorSizes) {
+    cfg.vector_size = vs;
+    cfg.opt = miniapp::OptLevel::kVanilla;
+    const double vanilla =
+        ex.run(platforms::riscv_vec(), cfg).phase_cycles(2);
+    cfg.opt = miniapp::OptLevel::kVec2;
+    const double vec2 = ex.run(platforms::riscv_vec(), cfg).phase_cycles(2);
+    cfg.opt = miniapp::OptLevel::kIVec2;
+    const double ivec2 = ex.run(platforms::riscv_vec(), cfg).phase_cycles(2);
+    if (vs == 256) speedup256 = vanilla / ivec2;
+    t.add_row({std::to_string(vs), core::fmt(vanilla, 0),
+               core::fmt(vec2, 0), core::fmt(ivec2, 0),
+               core::fmt_speedup(vanilla / ivec2)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nIVEC2 phase-2 speedup at VECTOR_SIZE = 256: "
+            << core::fmt_speedup(speedup256) << "   (paper: 7.38x)\n";
+  return 0;
+}

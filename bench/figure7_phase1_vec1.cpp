@@ -1,0 +1,33 @@
+// Figure 7 — "Resulting cycles phase 1" with VEC1 (loop fission).
+//
+// Paper: splitting work A (non-vectorizable bookkeeping) from work B
+// (vectorizable coordinate gather) lets work B run on the VPU.  Speed-ups
+// range 1.03–1.56x, reaching 2x at VECTOR_SIZE = 512 — modest, because
+// only work B uses vector instructions.
+#include "bench_common.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Figure 7", "phase-1 cycles with VEC1 (fission)");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+
+  core::Table t({"VECTOR_SIZE", "fused (IVEC2)", "split (VEC1)",
+                 "VEC1 speedup"});
+  for (int vs : bench::kVectorSizes) {
+    cfg.vector_size = vs;
+    cfg.opt = miniapp::OptLevel::kIVec2;
+    const double fused = ex.run(platforms::riscv_vec(), cfg).phase_cycles(1);
+    cfg.opt = miniapp::OptLevel::kVec1;
+    const double split = ex.run(platforms::riscv_vec(), cfg).phase_cycles(1);
+    t.add_row({std::to_string(vs), core::fmt(fused, 0),
+               core::fmt(split, 0), core::fmt_speedup(fused / split)});
+  }
+  std::cout << t.to_string();
+  std::cout << "\npaper: 1.03-1.56x across VECTOR_SIZE, 2x at 512; work A "
+               "stays scalar, capping the gain.\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// google-benchmark suite for the host-compiled loop-order kernels — the
+// "runs on an AVX-512 desktop" half of the reproduction.  The same source
+// transformations the paper applies to Alya are measured on the machine
+// this binary runs on: vanilla (bound reload) vs dof-inner (VEC2) vs
+// ivect-inner (IVEC2), and fused vs split phase 1.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "fem/element.h"
+#include "miniapp/native_kernels.h"
+
+namespace {
+
+namespace native = vecfd::miniapp::native;
+using vecfd::fem::kDim;
+using vecfd::fem::kDofs;
+using vecfd::fem::kGauss;
+using vecfd::fem::kNodes;
+
+struct Data {
+  explicit Data(int vs, int nnode = 9000) : vs(vs) {
+    std::mt19937 rng(123);
+    std::uniform_int_distribution<int> node(0, nnode - 1);
+    std::uniform_real_distribution<double> val(-1.0, 1.0);
+    lnods.resize(static_cast<std::size_t>(kNodes) * vs);
+    for (auto& n : lnods) n = node(rng);
+    unk.resize(static_cast<std::size_t>(nnode) * kDofs);
+    unk_old.resize(unk.size());
+    for (auto& v : unk) v = val(rng);
+    for (auto& v : unk_old) v = val(rng);
+    elunk.assign(static_cast<std::size_t>(kDofs) * kNodes * vs, 0.0);
+    elvel_old.assign(static_cast<std::size_t>(kDim) * kNodes * vs, 0.0);
+  }
+  int vs;
+  std::vector<std::int32_t> lnods;
+  std::vector<double> unk, unk_old, elunk, elvel_old;
+};
+
+void BM_Phase2Vanilla(benchmark::State& state) {
+  Data d(static_cast<int>(state.range(0)));
+  const int bound = d.vs;
+  for (auto _ : state) {
+    native::phase2_vanilla(d.lnods.data(), d.unk.data(), d.unk_old.data(),
+                           d.elunk.data(), d.elvel_old.data(), &bound);
+    benchmark::DoNotOptimize(d.elunk.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.vs);
+}
+
+void BM_Phase2DofInner(benchmark::State& state) {
+  Data d(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    native::phase2_dof_inner(d.lnods.data(), d.unk.data(), d.unk_old.data(),
+                             d.elunk.data(), d.elvel_old.data(), d.vs);
+    benchmark::DoNotOptimize(d.elunk.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.vs);
+}
+
+void BM_Phase2IvectInner(benchmark::State& state) {
+  Data d(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    native::phase2_ivect_inner(d.lnods.data(), d.unk.data(),
+                               d.unk_old.data(), d.elunk.data(),
+                               d.elvel_old.data(), d.vs);
+    benchmark::DoNotOptimize(d.elunk.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.vs);
+}
+
+BENCHMARK(BM_Phase2Vanilla)->Arg(16)->Arg(64)->Arg(240)->Arg(512);
+BENCHMARK(BM_Phase2DofInner)->Arg(16)->Arg(64)->Arg(240)->Arg(512);
+BENCHMARK(BM_Phase2IvectInner)->Arg(16)->Arg(64)->Arg(240)->Arg(512);
+
+void BM_Phase1Fused(benchmark::State& state) {
+  const int vs = static_cast<int>(state.range(0));
+  const int nelem = 4096;
+  const int nnode = 9000;
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> node(0, nnode - 1);
+  std::vector<std::int32_t> mesh_lnods(
+      static_cast<std::size_t>(nelem) * kNodes);
+  for (auto& n : mesh_lnods) n = node(rng);
+  std::vector<std::int32_t> elmat(nelem, 0);
+  std::vector<double> coords(static_cast<std::size_t>(nnode) * kDim, 1.0);
+  std::vector<std::int32_t> lnods(static_cast<std::size_t>(kNodes) * vs);
+  std::vector<double> dtfac(vs);
+  std::vector<double> elcod(static_cast<std::size_t>(kDim) * kNodes * vs);
+  for (auto _ : state) {
+    native::phase1_fused(mesh_lnods.data(), elmat.data(), coords.data(),
+                         lnods.data(), dtfac.data(), elcod.data(), 0, vs,
+                         20.0);
+    benchmark::DoNotOptimize(elcod.data());
+  }
+  state.SetItemsProcessed(state.iterations() * vs);
+}
+
+void BM_Phase1Split(benchmark::State& state) {
+  const int vs = static_cast<int>(state.range(0));
+  const int nelem = 4096;
+  const int nnode = 9000;
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> node(0, nnode - 1);
+  std::vector<std::int32_t> mesh_lnods(
+      static_cast<std::size_t>(nelem) * kNodes);
+  for (auto& n : mesh_lnods) n = node(rng);
+  std::vector<std::int32_t> elmat(nelem, 0);
+  std::vector<double> coords(static_cast<std::size_t>(nnode) * kDim, 1.0);
+  std::vector<std::int32_t> lnods(static_cast<std::size_t>(kNodes) * vs);
+  std::vector<double> dtfac(vs);
+  std::vector<double> elcod(static_cast<std::size_t>(kDim) * kNodes * vs);
+  for (auto _ : state) {
+    native::phase1_split(mesh_lnods.data(), elmat.data(), coords.data(),
+                         lnods.data(), dtfac.data(), elcod.data(), 0, vs,
+                         20.0);
+    benchmark::DoNotOptimize(elcod.data());
+  }
+  state.SetItemsProcessed(state.iterations() * vs);
+}
+
+BENCHMARK(BM_Phase1Fused)->Arg(64)->Arg(240)->Arg(512);
+BENCHMARK(BM_Phase1Split)->Arg(64)->Arg(240)->Arg(512);
+
+void BM_ConvBlock(benchmark::State& state) {
+  const int vs = static_cast<int>(state.range(0));
+  std::vector<double> wmat(static_cast<std::size_t>(kGauss) * kNodes * vs,
+                           1.01);
+  std::vector<double> dmat(wmat.size(), 0.99);
+  std::vector<double> conv(static_cast<std::size_t>(kNodes) * kNodes * vs);
+  for (auto _ : state) {
+    native::conv_block(wmat.data(), dmat.data(), conv.data(), vs);
+    benchmark::DoNotOptimize(conv.data());
+  }
+  state.SetItemsProcessed(state.iterations() * vs);
+  state.counters["flops/elem"] = kGauss * kNodes * kNodes * 2.0;
+}
+
+BENCHMARK(BM_ConvBlock)->Arg(64)->Arg(240)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

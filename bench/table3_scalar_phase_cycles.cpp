@@ -1,0 +1,36 @@
+// Table 3 — "Percentage total cycles spent per phase" (scalar build).
+//
+// Paper: the mini-app compiled with vectorization disabled on the RISC-V
+// vector system; phases 6, 7, 3, 4 account for ~90% of total cycles and
+// phases 1+2 for ~4%.
+#include "bench_common.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Table 3",
+                            "% total cycles per phase — scalar build");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+  cfg.opt = miniapp::OptLevel::kScalar;
+  cfg.vector_size = 16;  // the paper's scalar reference configuration
+  const auto m = ex.run(platforms::riscv_vec_scalar(), cfg);
+
+  core::Table t({"phase", "cycles", "% total cycles"});
+  for (int p = 1; p <= 8; ++p) {
+    t.add_row({std::to_string(p), core::fmt(m.phase_cycles(p), 0),
+               core::fmt_pct(m.phase_share(p))});
+  }
+  std::cout << t.to_string();
+
+  const double top4 = m.phase_share(6) + m.phase_share(7) +
+                      m.phase_share(3) + m.phase_share(4);
+  std::cout << "\nphases {6,7,3,4} share: " << core::fmt_pct(top4)
+            << "   (paper: ~90%)\n";
+  std::cout << "phases {1,2} share:     "
+            << core::fmt_pct(m.phase_share(1) + m.phase_share(2))
+            << "   (paper: ~4%)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 5 — "vCPI, AVL and number of vector instructions in phase 6".
+//
+// Paper (phase 6, vanilla autovec):
+//   VS    vCPI   AVL   #vinstr
+//   16    9.71   16    14.3e5
+//   64    23.39  64    19.1e5
+//   128   28.56  128   9.6e5
+//   240   41.19  240   5.1e5
+//   256   43.10  256   4.7e5
+//   512   45.30  256   4.7e5
+// Shape targets: AVL = min(VS, 256); vCPI grows with vl; #vinstr scales
+// with 1/AVL beyond 64 and is *smaller* at 16 (partial vectorization).
+#include "bench_common.h"
+
+int main() {
+  using namespace vecfd;
+  std::cout << core::banner("Table 5",
+                            "phase-6 vCPI / AVL / vector instructions");
+  bench::Workload w;
+  bench::print_workload(w);
+
+  const core::Experiment ex(w.mesh, w.state);
+  miniapp::MiniAppConfig cfg;
+  cfg.opt = miniapp::OptLevel::kVanilla;
+
+  core::Table t({"VECTOR_SIZE", "vCPI", "AVL", "# vector instrs",
+                 "paper vCPI", "paper AVL"});
+  const char* paper_vcpi[] = {"9.71", "23.39", "28.56", "41.19", "43.10",
+                              "45.30"};
+  const char* paper_avl[] = {"16", "64", "128", "240", "256", "256"};
+  int i = 0;
+  for (int vs : bench::kVectorSizes) {
+    cfg.vector_size = vs;
+    const auto m = ex.run(platforms::riscv_vec(), cfg);
+    const auto& p6 = m.phase_metrics[6];
+    t.add_row({std::to_string(vs), core::fmt(p6.vcpi, 2),
+               core::fmt(p6.avl, 0), core::fmt_sci(double(p6.vector_instrs)),
+               paper_vcpi[i], paper_avl[i]});
+    ++i;
+  }
+  std::cout << t.to_string();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// cavity_flow — a real (small) CFD computation through the full pipeline:
+// the mini-app assembles the semi-implicit momentum system per time step,
+// BiCGStab solves it, and the lid-driven velocity field evolves.
+//
+// This is the "CFD = assembly + algebraic solver" structure of §2.3 put
+// together end-to-end; the assembly is the exact instrumented kernel the
+// paper optimizes, so the run also reports per-step vector metrics.
+//
+//   $ ./examples/cavity_flow
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "fem/mesh.h"
+#include "fem/state.h"
+#include "metrics/metrics.h"
+#include "miniapp/driver.h"
+#include "platforms/platforms.h"
+#include "solver/krylov.h"
+
+namespace {
+
+using namespace vecfd;
+
+/// Dirichlet conditions of the lid-driven cavity: u = (1,0,0) on the top
+/// face, no-slip elsewhere on the boundary.  Applied by row substitution.
+void apply_velocity_bcs(const fem::Mesh& mesh, solver::CsrMatrix& a,
+                        std::vector<double>& rhs_d, int dim) {
+  const auto& mc = mesh.config();
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    if (!mesh.is_boundary_node(n)) continue;
+    const bool lid = mesh.node(n)[2] >= mc.lz - 1e-12;
+    const double value = (dim == 0 && lid) ? 1.0 : 0.0;
+    // zero the row, set the diagonal, pin the rhs
+    auto vals = a.row_vals(n);
+    const auto cols = a.row_cols(n);
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      vals[k] = cols[k] == n ? 1.0 : 0.0;
+    }
+    rhs_d[static_cast<std::size_t>(n)] = value;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const fem::Mesh mesh({.nx = 8, .ny = 8, .nz = 8, .distortion = 0.0});
+  fem::Physics phys;
+  phys.viscosity = 0.05;
+  phys.dt = 0.1;
+  phys.force[2] = 0.0;
+  fem::State state(mesh, phys);
+  // start from rest: the lid BC drives the flow
+  std::fill(state.unknowns().begin(), state.unknowns().end(), 0.0);
+  std::fill(state.unknowns_old().begin(), state.unknowns_old().end(), 0.0);
+
+  miniapp::MiniAppConfig cfg;
+  cfg.vector_size = 240;
+  cfg.opt = miniapp::OptLevel::kVec1;
+  cfg.scheme = fem::Scheme::kSemiImplicit;
+
+  sim::Vpu vpu(platforms::riscv_vec());
+  const int nsteps = 5;
+  const int nn = mesh.num_nodes();
+
+  std::cout << "lid-driven cavity, " << mesh.num_elements()
+            << " elements, " << nsteps << " time steps\n\n";
+  core::Table t({"step", "assembly cycles", "Mv", "solver iters (x,y,z)",
+                 "max |u|", "lid u at center"});
+
+  for (int step = 1; step <= nsteps; ++step) {
+    const miniapp::MiniApp app(mesh, state, cfg);
+    miniapp::MiniAppResult sys = app.run(vpu);
+    const auto m = metrics::compute(sys.total, vpu.vlmax());
+
+    // Solve K u_d = f_d + (ρ/Δt) M u_d^n per component.  The mini-app's K
+    // already contains the ρ/Δt mass term and its RHS the ρ/Δt u^n load.
+    std::vector<double> unew(static_cast<std::size_t>(nn) * fem::kDim);
+    std::string iters;
+    for (int d = 0; d < fem::kDim; ++d) {
+      std::vector<double> rhs_d(static_cast<std::size_t>(nn));
+      for (int n = 0; n < nn; ++n) {
+        rhs_d[n] = sys.rhs[static_cast<std::size_t>(n) * fem::kDim + d];
+      }
+      solver::CsrMatrix a = sys.matrix;  // per-component copy (BCs differ)
+      apply_velocity_bcs(mesh, a, rhs_d, d);
+      std::vector<double> x(static_cast<std::size_t>(nn), 0.0);
+      const auto rep = solver::bicgstab(
+          a, rhs_d, x, {.max_iterations = 400, .rel_tolerance = 1e-9});
+      if (!rep.converged) {
+        std::cerr << "solver failed to converge at step " << step << '\n';
+        return 1;
+      }
+      iters += (d ? "," : "") + std::to_string(rep.iterations);
+      for (int n = 0; n < nn; ++n) {
+        unew[static_cast<std::size_t>(n) * fem::kDim + d] = x[n];
+      }
+    }
+
+    double umax = 0.0;
+    for (double v : unew) umax = std::max(umax, std::fabs(v));
+    // probe: u_x just below the lid center
+    const int nx = mesh.config().nx;
+    const int probe =
+        nx / 2 + (nx + 1) * (nx / 2 + (nx + 1) * (nx - 1));
+    t.add_row({std::to_string(step), core::fmt(sys.cycles, 0),
+               core::fmt_pct(m.mv), iters, core::fmt(umax, 4),
+               core::fmt(unew[static_cast<std::size_t>(probe) * 3], 4)});
+
+    state.push_time_level(unew);
+  }
+  std::cout << t.to_string();
+  std::cout << "\nthe lid drags the cavity fluid: max |u| grows toward the "
+               "lid speed (1.0) and interior flow develops.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// portability_study — the §5 portability argument as a runnable study:
+// the same source-level optimizations, evaluated on the three modelled
+// platforms plus a user-defined custom machine, with per-platform metrics.
+//
+// Demonstrates how to define your own MachineConfig and check whether a
+// tuning made for one vector architecture helps or hurts on another —
+// the question the paper's co-design methodology is built to answer.
+//
+//   $ ./examples/portability_study
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace vecfd;
+  const fem::Mesh mesh({.nx = 8, .ny = 10, .nz = 12});
+  const fem::State state(mesh);
+  const core::Experiment ex(mesh, state);
+
+  // a hypothetical next-generation part: wider FSM-friendly unit, more
+  // lanes, bigger L2 — the kind of what-if the co-design loop feeds back
+  // to hardware architects (§7)
+  sim::MachineConfig next_gen = platforms::riscv_vec();
+  next_gen.name = "riscv-vec-ng";
+  next_gen.frequency_mhz = 1000.0;
+  next_gen.lanes = 16;
+  next_gen.fsm_penalty = 1.02;  // improved lane-feeding FSM
+  next_gen.memory.l2.size_bytes = 4 * 1024 * 1024;
+
+  const sim::MachineConfig machines[] = {
+      platforms::riscv_vec(), platforms::sx_aurora(),
+      platforms::mn4_avx512(), next_gen};
+
+  std::cout << "portability of the paper's optimizations (VECTOR_SIZE "
+               "sweep, optimized VEC1 vs vanilla)\n\n";
+
+  for (const auto& machine : machines) {
+    core::Table t({"VECTOR_SIZE", "vanilla cycles", "VEC1 cycles",
+                   "speedup", "Mv", "AVL", "wall ms"});
+    for (int vs : {16, 64, 128, 240, 256, 512}) {
+      miniapp::MiniAppConfig cfg;
+      cfg.vector_size = vs;
+      cfg.opt = miniapp::OptLevel::kVanilla;
+      const auto v = ex.run(machine, cfg);
+      cfg.opt = miniapp::OptLevel::kVec1;
+      const auto o = ex.run(machine, cfg);
+      const double ms =
+          o.total_cycles / (machine.frequency_mhz * 1e3);
+      t.add_row({std::to_string(vs), core::fmt(v.total_cycles, 0),
+                 core::fmt(o.total_cycles, 0),
+                 core::fmt_speedup(v.total_cycles / o.total_cycles),
+                 core::fmt_pct(o.overall.mv), core::fmt(o.overall.avl, 0),
+                 core::fmt(ms, 2)});
+    }
+    std::cout << "### " << machine.name << " (vlmax " << machine.vlmax
+              << ", " << machine.lanes << " lanes, "
+              << machine.frequency_mhz << " MHz)\n"
+              << t.to_string() << '\n';
+  }
+
+  std::cout << "takeaway: speedup >= 1.0 everywhere — the source changes "
+               "made for the long-vector prototype do not penalize the "
+               "other platforms (paper §5, Figure 12).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// vecfd::compiler — source-level loop-nest description.
+//
+// The co-design loop of the paper revolves around *why* the LLVM-based EPI
+// auto-vectorizer does or does not vectorize a loop: runtime-reloaded trip
+// counts (phase 2), non-vectorizable work fused in the same outer loop
+// (phase 1), unprovable aliasing of indexed stores (phase 8), and the cost
+// model's profitability threshold.  A LoopInfo captures exactly the
+// properties those decisions depend on.
+#pragma once
+
+#include <string>
+
+namespace vecfd::compiler {
+
+/// Dominant memory-access pattern of the candidate loop body.
+enum class AccessPattern {
+  kContiguous,  ///< unit-stride over the induction variable
+  kStrided,     ///< constant non-unit stride
+  kIndexed,     ///< gather/scatter through an index array
+};
+
+struct LoopInfo {
+  std::string id;  ///< diagnostic label, e.g. "phase2/gather-dofs"
+
+  /// Trip count of the loop the vectorizer would target (the innermost one).
+  int trip_count = 0;
+
+  /// Whether the bound is visible to the compiler as a constant.  The paper's
+  /// phase 2 was blocked because VECTOR_DIM was a dummy argument re-fetched
+  /// from memory every iteration (§4); declaring it compile-time constant is
+  /// the VEC2 change.
+  bool bound_is_compile_time_constant = true;
+
+  /// Access pattern of the body; drives the profitability threshold and the
+  /// kind of memory instructions emitted.
+  AccessPattern pattern = AccessPattern::kContiguous;
+
+  /// Number of distinct memory streams (arrays) the body touches.  Complex
+  /// bodies need longer trips to amortize vector setup in the cost model.
+  int memory_streams = 1;
+
+  /// The outer loop also contains statements that cannot be vectorized
+  /// (the paper's phase-1 "work A"): the compiler emits a vector body but
+  /// the runtime falls back to the scalar copy.  Fixed by loop fission
+  /// (the VEC1 change).
+  bool fused_with_nonvectorizable = false;
+
+  /// Indexed stores whose targets the compiler cannot prove disjoint
+  /// (phase 8's global assembly).
+  bool may_alias_stores = false;
+};
+
+}  // namespace vecfd::compiler

@@ -1,0 +1,54 @@
+// vecfd::compiler — rule-based model of the EPI LLVM auto-vectorizer.
+//
+// Given a LoopInfo and a machine, `analyze()` reproduces the decisions the
+// paper observes (Table 4 and the §4 narrative) and emits LLVM-style
+// remarks, so tooling built on top (the co-design Advisor, the benches) can
+// explain *why* a phase stayed scalar.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/loop_info.h"
+#include "sim/machine_config.h"
+
+namespace vecfd::compiler {
+
+/// Outcome of vectorization analysis for one loop.
+struct Decision {
+  bool vectorize = false;
+  int vl = 0;           ///< vector length the emitted code requests per strip
+  std::string remark;   ///< human-readable vectorization remark
+};
+
+class VectorizationModel {
+ public:
+  /// @param machine   target machine (vlmax bounds the granted vl)
+  /// @param enabled   corresponds to compiling with the auto-vectorizer on
+  ///                  (-mepi ... in Table 1); when false every loop stays
+  ///                  scalar, which is the paper's baseline build.
+  explicit VectorizationModel(const sim::MachineConfig& machine,
+                              bool enabled = true);
+
+  /// Analyze a single candidate loop.
+  Decision analyze(const LoopInfo& loop) const;
+
+  /// Cost-model profitability: the minimum trip count for which
+  /// vectorization is considered profitable given the body's pattern and
+  /// stream count.  Exposed for tests and the Advisor.
+  static int min_profitable_trip(AccessPattern pattern, int memory_streams);
+
+  bool enabled() const { return enabled_; }
+  const sim::MachineConfig& machine() const { return *machine_; }
+
+ private:
+  const sim::MachineConfig* machine_;
+  bool enabled_;
+};
+
+/// Convenience: analyze a set of loops, returning remarks for reporting
+/// (mirrors `-Rpass=loop-vectorize` output the paper inspected).
+std::vector<std::string> remarks(const VectorizationModel& model,
+                                 const std::vector<LoopInfo>& loops);
+
+}  // namespace vecfd::compiler

@@ -1,0 +1,136 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "metrics/metrics.h"
+
+namespace vecfd::core {
+
+std::string to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::kNotVectorized:   return "not-vectorized";
+    case FindingKind::kShortVectors:    return "short-vectors";
+    case FindingKind::kFsmUnfriendlyVl: return "fsm-unfriendly-vl";
+    case FindingKind::kFusedLoop:       return "fused-loop";
+    case FindingKind::kOpaqueBound:     return "opaque-bound";
+    case FindingKind::kCachePressure:   return "cache-pressure";
+    case FindingKind::kHealthy:         return "healthy";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The plan remark most relevant to a phase (first non-vectorized subkernel,
+/// else the first subkernel).
+std::string phase_remark(const miniapp::PhasePlan& plan, int phase) {
+  const std::string prefix = "phase" + std::to_string(phase);
+  std::string fallback;
+  for (const auto& [id, d] : plan.all()) {
+    if (id.rfind(prefix, 0) != 0) continue;
+    if (fallback.empty()) fallback = d.remark;
+    if (!d.vectorize) return d.remark;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::vector<Finding> advise(const Measurement& m) {
+  std::vector<Finding> findings;
+  const sim::MachineConfig& mc = m.machine;
+
+  for (int p = 1; p <= 8; ++p) {
+    const double share = m.phase_share(p);
+    const metrics::VectorMetrics& pm = m.phase_metrics[p];
+    if (share < 0.02) continue;  // below the noise floor of the methodology
+
+    const std::string remark = phase_remark(m.plan, p);
+
+    if (mc.vector_enabled && pm.mv < 0.05) {
+      Finding f;
+      f.phase = p;
+      f.severity = share;
+      if (remark.find("not a compile-time constant") != std::string::npos) {
+        f.kind = FindingKind::kOpaqueBound;
+        f.message = "phase " + std::to_string(p) +
+                    " is scalar because the compiler cannot see the loop "
+                    "bound (" + remark +
+                    "); declare the trip count as a compile-time constant";
+      } else if (remark.find("fused") != std::string::npos) {
+        f.kind = FindingKind::kFusedLoop;
+        f.message = "phase " + std::to_string(p) +
+                    " executes scalar because vectorizable work shares its "
+                    "outer loop with non-vectorizable work (" + remark +
+                    "); split the loop (fission)";
+      } else {
+        f.kind = FindingKind::kNotVectorized;
+        f.message = "phase " + std::to_string(p) + " is not vectorized: " +
+                    remark;
+      }
+      findings.push_back(std::move(f));
+      continue;
+    }
+
+    if (mc.vector_enabled && pm.mv >= 0.05 &&
+        pm.avl < 0.25 * mc.vlmax && pm.avl > 0.0) {
+      Finding f;
+      f.kind = FindingKind::kShortVectors;
+      f.phase = p;
+      f.severity = share;
+      f.message =
+          "phase " + std::to_string(p) + " vectorizes with AVL " +
+          std::to_string(pm.avl).substr(0, 5) + " of vlmax " +
+          std::to_string(mc.vlmax) +
+          "; interchange the loop nest so the longest dimension is "
+          "innermost";
+      findings.push_back(std::move(f));
+      continue;
+    }
+
+    const double dcm_ki = metrics::l1_dcm_per_kilo_instr(m.phase[p]);
+    if (dcm_ki > 50.0 && metrics::memory_instr_fraction(m.phase[p]) > 0.4) {
+      Finding f;
+      f.kind = FindingKind::kCachePressure;
+      f.phase = p;
+      f.severity = share * 0.5;  // actionable, but bounded by memory system
+      f.message = "phase " + std::to_string(p) + " sees " +
+                  std::to_string(dcm_ki).substr(0, 6) +
+                  " L1 misses per kilo-instruction; the VECTOR_SIZE chunk "
+                  "working set likely exceeds L1 — consider a smaller "
+                  "VECTOR_SIZE or blocking";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // machine-level lesson: FSM-unfriendly vector length (the 240-vs-256 one)
+  if (mc.vector_enabled && mc.fsm_group > 1) {
+    const int group = mc.lanes * mc.fsm_group;
+    const int vl = std::min(m.app.vector_size, mc.vlmax);
+    if (vl % group != 0 && m.overall.mv > 0.05) {
+      Finding f;
+      f.kind = FindingKind::kFsmUnfriendlyVl;
+      f.phase = 0;
+      f.severity = (mc.fsm_penalty - 1.0) * m.overall.av;
+      f.message =
+          "vector length " + std::to_string(vl) + " is not a multiple of " +
+          std::to_string(group) + " (lanes x fsm_group); VECTOR_SIZE " +
+          "multiples of " + std::to_string(group) +
+          " maximize element throughput on this machine (e.g. 240)";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  if (findings.empty()) {
+    findings.push_back(
+        {FindingKind::kHealthy, 0, 0.0,
+         "no actionable vectorization finding above the 2% cycle floor"});
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.severity > b.severity;
+                   });
+  return findings;
+}
+
+}  // namespace vecfd::core

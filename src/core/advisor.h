@@ -1,0 +1,42 @@
+// vecfd::core — the co-design Advisor.
+//
+// §7 of the paper distills the study into lessons for application
+// developers, system-software developers and hardware architects.  The
+// Advisor encodes those lessons as executable diagnostics: given a
+// Measurement it points at the phase limiting performance and says *why*
+// (unvectorized loop, short AVL, FSM-unfriendly vector length, cache
+// pressure), citing the compiler model's remark for the offending loop.
+// The `codesign_loop` example drives the full iterate-measure-refactor
+// cycle with it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace vecfd::core {
+
+enum class FindingKind {
+  kNotVectorized,      ///< hot phase with Mv ≈ 0
+  kShortVectors,       ///< vectorized but AVL ≪ vlmax (the VEC2 symptom)
+  kFsmUnfriendlyVl,    ///< vl not a multiple of lanes·fsm_group (the 240 lesson)
+  kFusedLoop,          ///< vectorizable work fused with non-vectorizable (VEC1)
+  kOpaqueBound,        ///< loop bound not compile-time constant (VEC2 lesson)
+  kCachePressure,      ///< high L1 DCM/ki on a memory-bound phase
+  kHealthy,            ///< nothing actionable
+};
+
+struct Finding {
+  FindingKind kind = FindingKind::kHealthy;
+  int phase = 0;            ///< 0 = whole application
+  double severity = 0.0;    ///< cycle share at stake, [0, 1]
+  std::string message;      ///< human-readable diagnosis + suggested action
+};
+
+/// Analyze a measurement; findings come sorted by severity (largest first).
+std::vector<Finding> advise(const Measurement& m);
+
+std::string to_string(FindingKind k);
+
+}  // namespace vecfd::core

@@ -1,0 +1,51 @@
+#include "core/csv.h"
+
+#include <ostream>
+
+namespace vecfd::core {
+
+namespace {
+/// RAII precision bump: metrics written with enough digits to plot from.
+class ScopedPrecision {
+ public:
+  explicit ScopedPrecision(std::ostream& os)
+      : os_(os), saved_(os.precision(12)) {}
+  ~ScopedPrecision() { os_.precision(saved_); }
+
+ private:
+  std::ostream& os_;
+  std::streamsize saved_;
+};
+}  // namespace
+
+void write_csv_header(std::ostream& os) {
+  os << "machine,opt,scheme,vector_size,total_cycles,total_instrs,"
+        "vector_instrs,mv,av,vcpi,avl,ev,flops,l1_misses,l2_misses";
+  for (int p = 1; p <= 8; ++p) {
+    os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
+  }
+  os << '\n';
+}
+
+void write_measurement_row(std::ostream& os, const Measurement& m) {
+  const ScopedPrecision prec(os);
+  os << m.machine.name << ',' << to_string(m.app.opt) << ','
+     << to_string(m.app.scheme) << ',' << m.app.vector_size << ','
+     << m.total_cycles << ',' << m.total.total_instrs() << ','
+     << m.total.vector_instrs() << ',' << m.overall.mv << ',' << m.overall.av
+     << ',' << m.overall.vcpi << ',' << m.overall.avl << ',' << m.overall.ev
+     << ',' << m.total.flops << ',' << m.total.l1_misses << ','
+     << m.total.l2_misses;
+  for (int p = 1; p <= 8; ++p) {
+    os << ',' << m.phase_cycles(p) << ',' << m.phase_metrics[p].mv << ','
+       << m.phase_metrics[p].avl;
+  }
+  os << '\n';
+}
+
+void write_csv(std::ostream& os, std::span<const Measurement> ms) {
+  write_csv_header(os);
+  for (const Measurement& m : ms) write_measurement_row(os, m);
+}
+
+}  // namespace vecfd::core

@@ -1,0 +1,26 @@
+// vecfd::core — CSV export of measurements.
+//
+// Plotting the paper's figures from fresh data is part of the workflow this
+// library supports; every Measurement row carries the §2.2 metrics and the
+// per-phase counters so a spreadsheet or matplotlib script can regenerate
+// any chart of the evaluation.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "core/experiment.h"
+
+namespace vecfd::core {
+
+/// Write the header row of `write_measurement_row`.
+void write_csv_header(std::ostream& os);
+
+/// One CSV row per measurement: machine, config, totals, §2.2 metrics and
+/// per-phase cycles/Mv/AVL.
+void write_measurement_row(std::ostream& os, const Measurement& m);
+
+/// Convenience: header + all rows.
+void write_csv(std::ostream& os, std::span<const Measurement> ms);
+
+}  // namespace vecfd::core

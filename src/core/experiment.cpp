@@ -1,0 +1,53 @@
+#include "core/experiment.h"
+
+namespace vecfd::core {
+
+Experiment::Experiment(const fem::Mesh& mesh, const fem::State& state)
+    : mesh_(&mesh), state_(&state) {}
+
+Measurement Experiment::run(const sim::MachineConfig& machine,
+                            const miniapp::MiniAppConfig& app) const {
+  miniapp::MiniApp ma(*mesh_, *state_, app);
+  sim::Vpu vpu(machine);
+  miniapp::MiniAppResult r = ma.run(vpu);
+
+  Measurement m;
+  m.machine = machine;
+  m.app = app;
+  m.plan = ma.plan(machine);
+  m.total = r.total;
+  m.total_cycles = r.total.total_cycles();
+  for (int p = 0; p <= 8; ++p) {
+    m.phase[p] = r.phase[p];
+    m.phase_metrics[p] = metrics::compute(r.phase[p], machine.vlmax);
+  }
+  m.overall = metrics::compute(r.total, machine.vlmax);
+  m.rhs = std::move(r.rhs);
+  return m;
+}
+
+std::vector<Measurement> Experiment::sweep_vector_sizes(
+    const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
+    std::span<const int> sizes) const {
+  std::vector<Measurement> out;
+  out.reserve(sizes.size());
+  for (int vs : sizes) {
+    app.vector_size = vs;
+    out.push_back(run(machine, app));
+  }
+  return out;
+}
+
+std::vector<Measurement> Experiment::sweep_opt_levels(
+    const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
+    std::span<const miniapp::OptLevel> levels) const {
+  std::vector<Measurement> out;
+  out.reserve(levels.size());
+  for (miniapp::OptLevel o : levels) {
+    app.opt = o;
+    out.push_back(run(machine, app));
+  }
+  return out;
+}
+
+}  // namespace vecfd::core

@@ -1,0 +1,80 @@
+// vecfd::core — experiment runner.
+//
+// The paper's methodology (§3) is a measurement loop: run the instrumented
+// mini-app on a machine, read the per-phase counters, evaluate the §2.2
+// metrics, decide the next optimization.  This module packages one turn of
+// that loop (run → Measurement) and the sweeps the evaluation section is
+// built from (VECTOR_SIZE × optimization level × machine).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "fem/state.h"
+#include "metrics/metrics.h"
+#include "miniapp/config.h"
+#include "miniapp/driver.h"
+#include "platforms/platforms.h"
+#include "sim/machine_config.h"
+
+namespace vecfd::core {
+
+/// One measured mini-app execution.
+struct Measurement {
+  sim::MachineConfig machine;
+  miniapp::MiniAppConfig app;
+  miniapp::PhasePlan plan;
+
+  double total_cycles = 0.0;
+  sim::Counters total;
+  std::array<sim::Counters, 9> phase{};  ///< 1..8 (0 = outside)
+
+  metrics::VectorMetrics overall;
+  std::array<metrics::VectorMetrics, 9> phase_metrics{};
+
+  /// Assembled RHS (kept so callers can verify results / chain a solve).
+  std::vector<double> rhs;
+
+  double phase_cycles(int p) const { return phase[p].total_cycles(); }
+  /// Fraction of total cycles spent in phase p.
+  double phase_share(int p) const {
+    return total_cycles > 0.0 ? phase_cycles(p) / total_cycles : 0.0;
+  }
+};
+
+class Experiment {
+ public:
+  /// Mesh and state must outlive the Experiment.
+  Experiment(const fem::Mesh& mesh, const fem::State& state);
+
+  /// Run one configuration on one machine.
+  Measurement run(const sim::MachineConfig& machine,
+                  const miniapp::MiniAppConfig& app) const;
+
+  /// Sweep VECTOR_SIZE at a fixed optimization level.
+  std::vector<Measurement> sweep_vector_sizes(
+      const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
+      std::span<const int> sizes) const;
+
+  /// Sweep optimization levels at a fixed VECTOR_SIZE.
+  std::vector<Measurement> sweep_opt_levels(
+      const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
+      std::span<const miniapp::OptLevel> levels) const;
+
+  const fem::Mesh& mesh() const { return *mesh_; }
+  const fem::State& state() const { return *state_; }
+
+ private:
+  const fem::Mesh* mesh_;
+  const fem::State* state_;
+};
+
+/// All optimization levels in paper order.
+inline constexpr miniapp::OptLevel kAllOptLevels[] = {
+    miniapp::OptLevel::kScalar, miniapp::OptLevel::kVanilla,
+    miniapp::OptLevel::kVec2, miniapp::OptLevel::kIVec2,
+    miniapp::OptLevel::kVec1};
+
+}  // namespace vecfd::core

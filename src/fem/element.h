@@ -1,0 +1,16 @@
+// vecfd::fem — compile-time element description.
+//
+// The mini-app mirrors Alya's Nastin assembly on trilinear (Q1) hexahedra:
+// 8 nodes, 8 Gauss points, 3 space dimensions.  These are compile-time
+// constants throughout — exactly the kind of information the paper's VEC2
+// lesson says the compiler must see ("provide loop limits at compile time").
+#pragma once
+
+namespace vecfd::fem {
+
+inline constexpr int kDim = 3;    ///< ndime
+inline constexpr int kNodes = 8;  ///< pnode (Q1 hexahedron)
+inline constexpr int kGauss = 8;  ///< pgaus (2×2×2 Gauss–Legendre)
+inline constexpr int kDofs = 4;   ///< velocity (3) + pressure (1) per node
+
+}  // namespace vecfd::fem

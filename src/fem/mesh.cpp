@@ -1,0 +1,146 @@
+#include "fem/mesh.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vecfd::fem {
+
+Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+  if (cfg.nx <= 0 || cfg.ny <= 0 || cfg.nz <= 0) {
+    throw std::invalid_argument("Mesh: element counts must be positive");
+  }
+  if (cfg.lx <= 0.0 || cfg.ly <= 0.0 || cfg.lz <= 0.0) {
+    throw std::invalid_argument("Mesh: domain lengths must be positive");
+  }
+  if (cfg.distortion < 0.0 || cfg.distortion > 0.3) {
+    throw std::invalid_argument(
+        "Mesh: distortion must stay in [0, 0.3] to keep Jacobians positive");
+  }
+
+  const int npx = cfg.nx + 1;
+  const int npy = cfg.ny + 1;
+  const int npz = cfg.nz + 1;
+  num_nodes_ = npx * npy * npz;
+  num_elements_ = cfg.nx * cfg.ny * cfg.nz;
+
+  coords_.resize(static_cast<std::size_t>(num_nodes_) * kDim);
+  boundary_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  const double dx = cfg.lx / cfg.nx;
+  const double dy = cfg.ly / cfg.ny;
+  const double dz = cfg.lz / cfg.nz;
+  constexpr double pi = std::numbers::pi;
+
+  for (int k = 0; k < npz; ++k) {
+    for (int j = 0; j < npy; ++j) {
+      for (int i = 0; i < npx; ++i) {
+        const int n = i + npx * (j + npy * k);
+        const double x = i * dx;
+        const double y = j * dy;
+        const double z = k * dz;
+        // Interior nodes get a smooth sinusoidal displacement; boundary
+        // nodes stay put so the domain remains a box.
+        const bool bnd = i == 0 || i == cfg.nx || j == 0 || j == cfg.ny ||
+                         k == 0 || k == cfg.nz;
+        double ox = 0.0;
+        double oy = 0.0;
+        double oz = 0.0;
+        if (!bnd && cfg.distortion > 0.0) {
+          ox = cfg.distortion * dx * std::sin(2.0 * pi * y / cfg.ly) *
+               std::sin(2.0 * pi * z / cfg.lz);
+          oy = cfg.distortion * dy * std::sin(2.0 * pi * z / cfg.lz) *
+               std::sin(2.0 * pi * x / cfg.lx);
+          oz = cfg.distortion * dz * std::sin(2.0 * pi * x / cfg.lx) *
+               std::sin(2.0 * pi * y / cfg.ly);
+        }
+        coords_[3 * n + 0] = x + ox;
+        coords_[3 * n + 1] = y + oy;
+        coords_[3 * n + 2] = z + oz;
+        boundary_[static_cast<std::size_t>(n)] = bnd ? 1 : 0;
+      }
+    }
+  }
+
+  // Optional deterministic node renumbering (Fisher–Yates with a fixed
+  // LCG), applied to coordinates, boundary flags and — below — lnods.
+  std::vector<int> perm(static_cast<std::size_t>(num_nodes_));
+  for (int n = 0; n < num_nodes_; ++n) perm[static_cast<std::size_t>(n)] = n;
+  if (cfg.shuffle_nodes) {
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    for (int n = num_nodes_ - 1; n > 0; --n) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      const int j = static_cast<int>((s >> 33) % (n + 1));
+      std::swap(perm[static_cast<std::size_t>(n)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    std::vector<double> coords(coords_.size());
+    std::vector<std::uint8_t> bnd(boundary_.size());
+    for (int n = 0; n < num_nodes_; ++n) {
+      const int p = perm[static_cast<std::size_t>(n)];
+      for (int d = 0; d < kDim; ++d) coords[3 * p + d] = coords_[3 * n + d];
+      bnd[static_cast<std::size_t>(p)] = boundary_[static_cast<std::size_t>(n)];
+    }
+    coords_ = std::move(coords);
+    boundary_ = std::move(bnd);
+  }
+
+  lnods_.resize(static_cast<std::size_t>(num_elements_) * kNodes);
+  elmat_.assign(static_cast<std::size_t>(num_elements_), 0);
+  auto node_id = [&](int i, int j, int k) {
+    return perm[static_cast<std::size_t>(i + npx * (j + npy * k))];
+  };
+  int e = 0;
+  for (int k = 0; k < cfg.nz; ++k) {
+    for (int j = 0; j < cfg.ny; ++j) {
+      for (int i = 0; i < cfg.nx; ++i, ++e) {
+        std::int32_t* ln = &lnods_[static_cast<std::size_t>(e) * kNodes];
+        // Ordering matches fem::shape_values' reference-node ordering.
+        ln[0] = node_id(i, j, k);
+        ln[1] = node_id(i + 1, j, k);
+        ln[2] = node_id(i + 1, j + 1, k);
+        ln[3] = node_id(i, j + 1, k);
+        ln[4] = node_id(i, j, k + 1);
+        ln[5] = node_id(i + 1, j, k + 1);
+        ln[6] = node_id(i + 1, j + 1, k + 1);
+        ln[7] = node_id(i, j + 1, k + 1);
+        // A couple of material bands so phase-1 "work A" has real data to
+        // branch on.
+        elmat_[static_cast<std::size_t>(e)] = (k < cfg.nz / 2) ? 0 : 1;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<int>> Mesh::node_adjacency() const {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_nodes_));
+  for (int e = 0; e < num_elements_; ++e) {
+    const auto ln = element(e);
+    for (int a = 0; a < kNodes; ++a) {
+      for (int b = 0; b < kNodes; ++b) {
+        adj[static_cast<std::size_t>(ln[a])].push_back(ln[b]);
+      }
+    }
+  }
+  return adj;  // CsrMatrix's constructor sorts and dedups
+}
+
+int Mesh::num_chunks(int vector_size) const {
+  if (vector_size <= 0) {
+    throw std::invalid_argument("Mesh::num_chunks: vector_size must be > 0");
+  }
+  return (num_elements_ + vector_size - 1) / vector_size;
+}
+
+Mesh::ChunkRange Mesh::chunk(int vector_size, int chunk_index) const {
+  const int nc = num_chunks(vector_size);
+  if (chunk_index < 0 || chunk_index >= nc) {
+    throw std::out_of_range("Mesh::chunk: chunk index out of range");
+  }
+  ChunkRange r;
+  r.first = chunk_index * vector_size;
+  const int remaining = num_elements_ - r.first;
+  r.count = remaining < vector_size ? remaining : vector_size;
+  return r;
+}
+
+}  // namespace vecfd::fem

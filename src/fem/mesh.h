@@ -1,0 +1,81 @@
+// vecfd::fem — structured hexahedral mesh with VECTOR_SIZE chunking.
+//
+// Alya packs mesh elements into VECTOR_SIZE-sized groups processed per
+// kernel call (§2.3: "VECTOR_SIZE ... represents the amount of elements the
+// kernel processes per single call from a bigger mesh").  The mesh exposes
+// the same chunk view; the layout of element data inside a chunk (SoA with
+// the element index fastest) lives in vecfd::miniapp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fem/element.h"
+
+namespace vecfd::fem {
+
+struct MeshConfig {
+  int nx = 8, ny = 8, nz = 8;          ///< elements per axis
+  double lx = 1.0, ly = 1.0, lz = 1.0; ///< domain lengths
+  /// Smooth coordinate distortion amplitude (fraction of the cell size);
+  /// non-zero keeps Jacobians non-trivial, as in a real CFD mesh.
+  double distortion = 0.05;
+  /// Deterministically permute the node numbering.  Production meshes
+  /// (Alya's included) are rarely lexicographically ordered; shuffling
+  /// degrades the gather locality of phases 1/2/8 the way an unstructured
+  /// numbering does, which stresses the cache-driven behaviour the paper
+  /// analyzes in Table 6.
+  bool shuffle_nodes = false;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(const MeshConfig& cfg);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_elements() const { return num_elements_; }
+  const MeshConfig& config() const { return cfg_; }
+
+  /// Coordinates of node n (AoS: x, y, z contiguous per node).
+  std::span<const double, kDim> node(int n) const {
+    return std::span<const double, kDim>(&coords_[3 * n], kDim);
+  }
+  const double* coords_data() const { return coords_.data(); }
+
+  /// Connectivity of element e (8 node ids).
+  std::span<const std::int32_t, kNodes> element(int e) const {
+    return std::span<const std::int32_t, kNodes>(&lnods_[kNodes * e], kNodes);
+  }
+  const std::int32_t* lnods_data() const { return lnods_.data(); }
+
+  /// Material id per element (used by the phase-1 "work A" bookkeeping).
+  std::int32_t material(int e) const { return elmat_[e]; }
+  const std::int32_t* material_data() const { return elmat_.data(); }
+
+  /// Nodes on the domain boundary (for Dirichlet conditions in examples).
+  bool is_boundary_node(int n) const { return boundary_[n] != 0; }
+
+  /// Node-to-node adjacency (including self) — the sparsity pattern of the
+  /// assembled scalar operator.
+  std::vector<std::vector<int>> node_adjacency() const;
+
+  // ---- VECTOR_SIZE chunk view -------------------------------------------
+  int num_chunks(int vector_size) const;
+  struct ChunkRange {
+    int first = 0;  ///< first element id
+    int count = 0;  ///< valid elements (≤ vector_size for the tail chunk)
+  };
+  ChunkRange chunk(int vector_size, int chunk_index) const;
+
+ private:
+  MeshConfig cfg_;
+  int num_nodes_ = 0;
+  int num_elements_ = 0;
+  std::vector<double> coords_;        // [node][3]
+  std::vector<std::int32_t> lnods_;   // [elem][8]
+  std::vector<std::int32_t> elmat_;   // [elem]
+  std::vector<std::uint8_t> boundary_;  // [node]
+};
+
+}  // namespace vecfd::fem

@@ -1,0 +1,58 @@
+#include "fem/quadrature.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vecfd::fem {
+
+GaussRule1D gauss_legendre_1d(int n) {
+  GaussRule1D r;
+  switch (n) {
+    case 1:
+      r.points = {0.0};
+      r.weights = {2.0};
+      break;
+    case 2: {
+      const double p = 1.0 / std::sqrt(3.0);
+      r.points = {-p, p};
+      r.weights = {1.0, 1.0};
+      break;
+    }
+    case 3: {
+      const double p = std::sqrt(3.0 / 5.0);
+      r.points = {-p, 0.0, p};
+      r.weights = {5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0};
+      break;
+    }
+    case 4: {
+      const double a = std::sqrt(3.0 / 7.0 - 2.0 / 7.0 * std::sqrt(6.0 / 5.0));
+      const double b = std::sqrt(3.0 / 7.0 + 2.0 / 7.0 * std::sqrt(6.0 / 5.0));
+      const double wa = (18.0 + std::sqrt(30.0)) / 36.0;
+      const double wb = (18.0 - std::sqrt(30.0)) / 36.0;
+      r.points = {-b, -a, a, b};
+      r.weights = {wb, wa, wa, wb};
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          "gauss_legendre_1d: supported point counts are 1..4");
+  }
+  return r;
+}
+
+HexQuadrature::HexQuadrature(int n_per_axis) {
+  const GaussRule1D r1 = gauss_legendre_1d(n_per_axis);
+  const int n = n_per_axis;
+  points_.reserve(static_cast<std::size_t>(n) * n * n);
+  weights_.reserve(static_cast<std::size_t>(n) * n * n);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        points_.push_back({r1.points[i], r1.points[j], r1.points[k]});
+        weights_.push_back(r1.weights[i] * r1.weights[j] * r1.weights[k]);
+      }
+    }
+  }
+}
+
+}  // namespace vecfd::fem

@@ -1,0 +1,36 @@
+// vecfd::fem — Gauss–Legendre quadrature on [-1, 1] and its tensor-product
+// extension to the reference hexahedron [-1, 1]³.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace vecfd::fem {
+
+/// 1-D Gauss–Legendre rule with @p n points (n ∈ [1, 4]).
+/// Exact for polynomials of degree ≤ 2n − 1.
+struct GaussRule1D {
+  std::vector<double> points;
+  std::vector<double> weights;
+};
+
+/// @throws std::invalid_argument for unsupported point counts.
+GaussRule1D gauss_legendre_1d(int n);
+
+/// Tensor-product rule on the reference hexahedron.
+struct HexQuadrature {
+  /// @param n_per_axis points per axis (default 2 → the mini-app's 8-point
+  ///        rule, pgaus = 8).
+  explicit HexQuadrature(int n_per_axis = 2);
+
+  int size() const { return static_cast<int>(weights_.size()); }
+  /// Reference coordinates (ξ, η, ζ) of point @p g.
+  const std::array<double, 3>& point(int g) const { return points_[g]; }
+  double weight(int g) const { return weights_[g]; }
+
+ private:
+  std::vector<std::array<double, 3>> points_;
+  std::vector<double> weights_;
+};
+
+}  // namespace vecfd::fem

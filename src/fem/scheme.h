@@ -1,0 +1,21 @@
+// vecfd::fem — time-integration scheme selector.
+//
+// §2.3 of the paper: "Element matrices are computed only if the
+// semi-implicit numerical scheme is considered."  The explicit scheme
+// assembles only the right-hand side; the semi-implicit scheme additionally
+// assembles the momentum operator into the global sparse matrix
+// (making phase 8 markedly heavier).
+#pragma once
+
+namespace vecfd::fem {
+
+enum class Scheme {
+  kExplicit,      ///< RHS-only assembly (the paper's default configuration)
+  kSemiImplicit,  ///< RHS + element matrices scattered into the global CSR
+};
+
+constexpr const char* to_string(Scheme s) {
+  return s == Scheme::kExplicit ? "explicit" : "semi-implicit";
+}
+
+}  // namespace vecfd::fem

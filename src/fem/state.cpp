@@ -1,0 +1,54 @@
+#include "fem/state.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vecfd::fem {
+
+State::State(const Mesh& mesh, Physics phys)
+    : num_nodes_(mesh.num_nodes()), phys_(phys) {
+  if (phys_.density <= 0.0 || phys_.viscosity < 0.0 || phys_.dt <= 0.0) {
+    throw std::invalid_argument("State: non-physical parameters");
+  }
+  unk_.resize(static_cast<std::size_t>(num_nodes_) * kDofs);
+  unk_old_.resize(unk_.size());
+  constexpr double pi = std::numbers::pi;
+  const auto& mc = mesh.config();
+  for (int n = 0; n < num_nodes_; ++n) {
+    const auto x = mesh.node(n);
+    const double sx = std::sin(pi * x[0] / mc.lx);
+    const double sy = std::sin(pi * x[1] / mc.ly);
+    const double sz = std::sin(pi * x[2] / mc.lz);
+    const double cx = std::cos(pi * x[0] / mc.lx);
+    const double cy = std::cos(pi * x[1] / mc.ly);
+    const double cz = std::cos(pi * x[2] / mc.lz);
+    double* u = &unk_[static_cast<std::size_t>(n) * kDofs];
+    u[0] = sx * cy * cz;
+    u[1] = -cx * sy * cz;
+    u[2] = 0.25 * cx * cy * sz;
+    u[3] = 0.5 * (cx * cx + cy * cy - 1.0);  // pressure
+    double* uo = &unk_old_[static_cast<std::size_t>(n) * kDofs];
+    // previous level: slightly decayed field, so ∂u/∂t terms are non-zero
+    uo[0] = 0.95 * u[0];
+    uo[1] = 0.95 * u[1];
+    uo[2] = 0.95 * u[2];
+    uo[3] = u[3];
+  }
+}
+
+void State::push_time_level(std::span<const double> new_velocity) {
+  if (new_velocity.size() !=
+      static_cast<std::size_t>(num_nodes_) * kDim) {
+    throw std::invalid_argument("State::push_time_level: bad velocity size");
+  }
+  unk_old_ = unk_;
+  for (int n = 0; n < num_nodes_; ++n) {
+    for (int d = 0; d < kDim; ++d) {
+      unk_[static_cast<std::size_t>(n) * kDofs + d] =
+          new_velocity[static_cast<std::size_t>(n) * kDim + d];
+    }
+  }
+}
+
+}  // namespace vecfd::fem

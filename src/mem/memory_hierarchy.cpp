@@ -1,0 +1,41 @@
+#include "mem/memory_hierarchy.h"
+
+namespace vecfd::mem {
+
+MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
+    : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2) {}
+
+AccessResult MemoryHierarchy::access(std::uintptr_t addr) {
+  if (l1_.access(addr)) {
+    return {1, cfg_.l1_latency};
+  }
+  if (l2_.access(addr)) {
+    return {2, cfg_.l1_latency + cfg_.l2_latency};
+  }
+  return {3, cfg_.l1_latency + cfg_.l2_latency + cfg_.mem_latency};
+}
+
+double MemoryHierarchy::touch_range(std::uintptr_t addr, std::size_t bytes,
+                                    std::uint64_t* l1_misses_out) {
+  if (bytes == 0) return 0.0;
+  const std::size_t line = l1_.config().line_bytes;
+  const std::uintptr_t first = addr & ~(static_cast<std::uintptr_t>(line) - 1);
+  const std::uintptr_t last = (addr + bytes - 1) &
+                              ~(static_cast<std::uintptr_t>(line) - 1);
+  double penalty = 0.0;
+  std::uint64_t misses = 0;
+  for (std::uintptr_t a = first; a <= last; a += line) {
+    const AccessResult r = access(a);
+    penalty += r.penalty;
+    misses += r.level > 1 ? 1 : 0;
+  }
+  if (l1_misses_out != nullptr) *l1_misses_out += misses;
+  return penalty;
+}
+
+void MemoryHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+}  // namespace vecfd::mem

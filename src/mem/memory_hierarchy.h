@@ -1,0 +1,68 @@
+// vecfd::mem — two-level cache hierarchy with latency attribution.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.h"
+
+namespace vecfd::mem {
+
+/// Latency parameters and per-level geometry of the modelled hierarchy.
+/// Defaults approximate the RISC-V VEC FPGA prototype of the paper (§2.1.3:
+/// 1 MB L2, DDR4 main memory; L1 geometry is not published — see DESIGN.md).
+struct HierarchyConfig {
+  CacheConfig l1{.size_bytes = 64 * 1024,
+                 .line_bytes = 64,
+                 .associativity = 8,
+                 .name = "L1D"};
+  CacheConfig l2{.size_bytes = 1024 * 1024,
+                 .line_bytes = 64,
+                 .associativity = 16,
+                 .name = "L2"};
+  double l1_latency = 0.0;   ///< cycles beyond the pipelined base cost
+  double l2_latency = 14.0;  ///< extra cycles when served from L2
+  double mem_latency = 80.0; ///< extra cycles when served from DRAM
+};
+
+/// Which level served an access, plus the extra (beyond-L1) cycle cost.
+struct AccessResult {
+  int level = 1;        ///< 1 = L1 hit, 2 = L2 hit, 3 = memory
+  double penalty = 0.0; ///< extra cycles attributable to this access
+};
+
+/// Inclusive two-level data-cache hierarchy.
+///
+/// Each `access()` touches one cache line; vector memory instructions call
+/// `touch_range()` / repeated `access()` per element depending on their
+/// access pattern (the caller — vecfd::sim — decides, because the pattern is
+/// an instruction property).
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(HierarchyConfig cfg);
+
+  /// Touch the line containing @p addr.
+  AccessResult access(std::uintptr_t addr);
+
+  /// Touch every line overlapping [addr, addr + bytes).  Returns the summed
+  /// penalty and the count of L1 misses in @p l1_misses_out (optional).
+  double touch_range(std::uintptr_t addr, std::size_t bytes,
+                     std::uint64_t* l1_misses_out = nullptr);
+
+  /// Invalidate all cached lines (e.g. between independent experiments).
+  void flush();
+
+  const HierarchyConfig& config() const { return cfg_; }
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+
+  std::uint64_t l1_accesses() const { return l1_.accesses(); }
+  std::uint64_t l1_misses() const { return l1_.misses(); }
+  std::uint64_t l2_misses() const { return l2_.misses(); }
+
+ private:
+  HierarchyConfig cfg_;
+  Cache l1_;
+  Cache l2_;
+};
+
+}  // namespace vecfd::mem

@@ -1,0 +1,54 @@
+#include "metrics/metrics.h"
+
+namespace vecfd::metrics {
+
+VectorMetrics compute(const sim::Counters& c, int vlmax) {
+  VectorMetrics m;
+  m.vector_instrs = c.vector_instrs();
+  m.total_instrs = c.total_instrs();
+  m.vector_cycles = c.vector_cycles;
+  m.total_cycles = c.total_cycles();
+
+  if (m.total_instrs > 0) {
+    m.mv = static_cast<double>(m.vector_instrs) /
+           static_cast<double>(m.total_instrs);
+  }
+  if (m.total_cycles > 0.0) {
+    m.av = m.vector_cycles / m.total_cycles;
+  }
+  if (m.vector_instrs > 0) {
+    m.vcpi = m.vector_cycles / static_cast<double>(m.vector_instrs);
+    m.avl = static_cast<double>(c.vl_sum) /
+            static_cast<double>(m.vector_instrs);
+  }
+  if (vlmax > 0) {
+    m.ev = m.avl / static_cast<double>(vlmax);
+  }
+  return m;
+}
+
+InstructionMix instruction_mix(const sim::Counters& c) {
+  InstructionMix mix;
+  mix.arith = c.varith_instrs;
+  mix.mem_unit = c.vmem_unit_instrs;
+  mix.mem_strided = c.vmem_strided_instrs;
+  mix.mem_indexed = c.vmem_indexed_instrs;
+  mix.ctrl = c.vctrl_instrs;
+  return mix;
+}
+
+double l1_dcm_per_kilo_instr(const sim::Counters& c) {
+  const std::uint64_t instrs = c.total_instrs();
+  if (instrs == 0) return 0.0;
+  return 1000.0 * static_cast<double>(c.l1_misses) /
+         static_cast<double>(instrs);
+}
+
+double memory_instr_fraction(const sim::Counters& c) {
+  const std::uint64_t instrs = c.total_instrs();
+  if (instrs == 0) return 0.0;
+  return static_cast<double>(c.scalar_mem_instrs + c.vmem_instrs()) /
+         static_cast<double>(instrs);
+}
+
+}  // namespace vecfd::metrics

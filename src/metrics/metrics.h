@@ -1,0 +1,64 @@
+// vecfd::metrics — the paper's vectorization-efficiency metrics (§2.2).
+//
+//   Mv  = iv / it        vector instruction mix            ∈ [0, 1]
+//   Av  = cv / ct        vector activity                   ∈ [0, 1]
+//   Cv  = cv / iv        cycles per vector instruction (vCPI)
+//   AVL = Σ vl_k / iv    average vector length
+//   Ev  = AVL / vlmax    vector occupancy                  ∈ [0, 1]
+//
+// All are pure functions of the hardware Counters plus the machine's vlmax,
+// so they can be evaluated for a whole run or any instrumented phase.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/counters.h"
+
+namespace vecfd::metrics {
+
+struct VectorMetrics {
+  double mv = 0.0;    ///< vector instruction mix
+  double av = 0.0;    ///< vector activity
+  double vcpi = 0.0;  ///< cycles per vector instruction
+  double avl = 0.0;   ///< average vector length
+  double ev = 0.0;    ///< vector occupancy
+
+  std::uint64_t vector_instrs = 0;
+  std::uint64_t total_instrs = 0;
+  double vector_cycles = 0.0;
+  double total_cycles = 0.0;
+};
+
+/// Evaluate the §2.2 metrics for @p c on a machine with @p vlmax.
+/// Degenerate inputs (no instructions, no vector instructions) yield zeros
+/// rather than NaNs so reports stay printable.
+VectorMetrics compute(const sim::Counters& c, int vlmax);
+
+/// Breakdown of the vector-instruction population by class — the data behind
+/// Figure 3 ("almost 70% of vector instructions are memory type").
+struct InstructionMix {
+  std::uint64_t arith = 0;
+  std::uint64_t mem_unit = 0;
+  std::uint64_t mem_strided = 0;
+  std::uint64_t mem_indexed = 0;
+  std::uint64_t ctrl = 0;
+
+  std::uint64_t memory() const { return mem_unit + mem_strided + mem_indexed; }
+  std::uint64_t total() const { return arith + memory() + ctrl; }
+  /// Fraction of vector instructions that access memory.
+  double memory_fraction() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(memory()) / static_cast<double>(t);
+  }
+};
+
+InstructionMix instruction_mix(const sim::Counters& c);
+
+/// L1 data-cache misses per kilo-instruction — the regressor of Table 6.
+double l1_dcm_per_kilo_instr(const sim::Counters& c);
+
+/// Fraction of executed instructions that access memory (scalar + vector) —
+/// the second regressor of Table 6.
+double memory_instr_fraction(const sim::Counters& c);
+
+}  // namespace vecfd::metrics

@@ -1,0 +1,43 @@
+// vecfd::miniapp — run configuration of the Nastin assembly mini-app.
+#pragma once
+
+#include <string_view>
+
+#include "fem/scheme.h"
+
+namespace vecfd::miniapp {
+
+/// Cumulative optimization levels, in the order the paper applies them (§4):
+///   kScalar   — auto-vectorization disabled (the Table 3 baseline)
+///   kVanilla  — auto-vectorization on, no source changes (Figure 2)
+///   kVec2     — + phase-2 VECTOR_DIM made a compile-time constant; the
+///               compiler vectorizes the short per-node dof loop (AVL ≈ 4,
+///               counter-productive — Figure 5)
+///   kIVec2    — + phase-2 loop interchange: the element (ivect) dimension
+///               becomes innermost (Figure 6)
+///   kVec1     — + phase-1 loop fission separating non-vectorizable work A
+///               from vectorizable work B (Figure 7)
+enum class OptLevel { kScalar, kVanilla, kVec2, kIVec2, kVec1 };
+
+constexpr std::string_view to_string(OptLevel o) {
+  switch (o) {
+    case OptLevel::kScalar:  return "scalar";
+    case OptLevel::kVanilla: return "vanilla";
+    case OptLevel::kVec2:    return "VEC2";
+    case OptLevel::kIVec2:   return "IVEC2";
+    case OptLevel::kVec1:    return "VEC1";
+  }
+  return "?";
+}
+
+/// The VECTOR_SIZE values studied in the paper (§2.3).  240 is the
+/// micro-architectural sweet spot (multiple of 8 lanes × 5 FSM groups).
+inline constexpr int kStudiedVectorSizes[] = {16, 64, 128, 240, 256, 512};
+
+struct MiniAppConfig {
+  int vector_size = 240;  ///< Alya's VECTOR_SIZE chunk parameter
+  fem::Scheme scheme = fem::Scheme::kExplicit;
+  OptLevel opt = OptLevel::kVanilla;
+};
+
+}  // namespace vecfd::miniapp

@@ -1,0 +1,56 @@
+// vecfd::miniapp — mini-app driver: runs the 8 phases over all
+// VECTOR_SIZE chunks of a mesh on a simulated machine and returns both the
+// numerical result (global RHS / matrix) and the per-phase hardware
+// counters the paper's analysis is built on.
+#pragma once
+
+#include <vector>
+
+#include "fem/mesh.h"
+#include "fem/reference_assembly.h"
+#include "fem/shape.h"
+#include "fem/state.h"
+#include "miniapp/config.h"
+#include "miniapp/plan.h"
+#include "sim/vpu.h"
+#include "solver/csr.h"
+
+namespace vecfd::miniapp {
+
+struct MiniAppResult {
+  // ---- numerical output ---------------------------------------------------
+  std::vector<double> rhs;     ///< assembled global RHS, [node·kDim]
+  solver::CsrMatrix matrix;    ///< assembled momentum operator
+  bool has_matrix = false;     ///< true under the semi-implicit scheme
+
+  // ---- measurement -------------------------------------------------------
+  sim::Counters total;                 ///< whole-run counters
+  std::vector<sim::Counters> phase;    ///< index 1..8 (0 = outside phases)
+  double cycles = 0.0;                 ///< convenience: total cycles
+};
+
+class MiniApp {
+ public:
+  /// The mesh and state must outlive the MiniApp.
+  MiniApp(const fem::Mesh& mesh, const fem::State& state, MiniAppConfig cfg);
+
+  const MiniAppConfig& config() const { return cfg_; }
+  const fem::ShapeTable& shape() const { return shape_; }
+
+  /// The modelled compiler's decisions for this configuration on @p machine.
+  PhasePlan plan(const sim::MachineConfig& machine) const {
+    return build_plan(machine, cfg_);
+  }
+
+  /// Execute the full assembly on @p vpu.  Resets the machine (counters,
+  /// phases, caches) first so results are independent measurements.
+  MiniAppResult run(sim::Vpu& vpu) const;
+
+ private:
+  const fem::Mesh* mesh_;
+  const fem::State* state_;
+  fem::ShapeTable shape_;
+  MiniAppConfig cfg_;
+};
+
+}  // namespace vecfd::miniapp

@@ -1,0 +1,307 @@
+// Phase 4: interpolate nodal data to the integration points (gpvel for two
+// time levels, gpadv, the velocity gradient gpgve, gppre).
+// Phase 5: the time-integration elemental arrays — SUPG τ, the weighted RHS
+// rt = (ρf + dtfac·u_old)·gpvol, pt = gppre·gpvol, and the mass block when
+// the semi-implicit scheme is active.
+#include "miniapp/phases.h"
+
+namespace vecfd::miniapp {
+
+using fem::kDim;
+using fem::kGauss;
+using fem::kNodes;
+using sim::Vec;
+using sim::Vpu;
+
+namespace {
+
+// ---- phase 4 subkernels ---------------------------------------------------
+
+void p4_vel_vector(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                   int off, int n) {
+  const fem::ShapeTable& sh = *ctx.shape;
+  vpu.set_vl(n);
+  for (int l = 0; l < 2; ++l) {
+    for (int d = 0; d < kDim; ++d) {
+      auto plane = [&](int a) {
+        return l == 0 ? ch.elvel(d, a) : ch.elvel_old(d, a);
+      };
+      Vec acc = vpu.vmul_s(vpu.vload(plane(0) + off), sh.n(g, 0));
+      for (int a = 1; a < kNodes; ++a) {
+        acc = vpu.vfma_s(vpu.vload(plane(a) + off), sh.n(g, a), acc);
+      }
+      vpu.vstore(ch.gpvel(l, g, d) + off, acc);
+      if (l == 0) vpu.vstore(ch.gpadv(g, d) + off, acc);
+    }
+  }
+}
+
+void p4_vel_scalar(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                   int off, int n) {
+  const fem::ShapeTable& sh = *ctx.shape;
+  for (int iv = off; iv < off + n; ++iv) {
+    for (int l = 0; l < 2; ++l) {
+      for (int d = 0; d < kDim; ++d) {
+        auto plane = [&](int a) {
+          return l == 0 ? ch.elvel(d, a) : ch.elvel_old(d, a);
+        };
+        double acc = vpu.smul(vpu.sload(plane(0) + iv), sh.n(g, 0));
+        for (int a = 1; a < kNodes; ++a) {
+          acc = vpu.sfma(vpu.sload(plane(a) + iv), sh.n(g, a), acc);
+        }
+        vpu.sstore(ch.gpvel(l, g, d) + iv, acc);
+        if (l == 0) vpu.sstore(ch.gpadv(g, d) + iv, acc);
+      }
+    }
+  }
+}
+
+void p4_gve_vector(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                   int off, int n) {
+  (void)ctx;
+  vpu.set_vl(n);
+  for (int j = 0; j < kDim; ++j) {
+    Vec car[kNodes];
+    for (int a = 0; a < kNodes; ++a) {
+      car[a] = vpu.vload(ch.gpcar(g, j, a) + off);
+    }
+    for (int d = 0; d < kDim; ++d) {
+      Vec acc = vpu.vmul(car[0], vpu.vload(ch.elvel(d, 0) + off));
+      for (int a = 1; a < kNodes; ++a) {
+        acc = vpu.vfma(car[a], vpu.vload(ch.elvel(d, a) + off), acc);
+      }
+      vpu.vstore(ch.gpgve(g, j, d) + off, acc);
+    }
+  }
+}
+
+void p4_gve_scalar(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                   int off, int n) {
+  (void)ctx;
+  for (int iv = off; iv < off + n; ++iv) {
+    for (int j = 0; j < kDim; ++j) {
+      double car[kNodes];
+      for (int a = 0; a < kNodes; ++a) {
+        car[a] = vpu.sload(ch.gpcar(g, j, a) + iv);
+      }
+      for (int d = 0; d < kDim; ++d) {
+        double acc = vpu.smul(car[0], vpu.sload(ch.elvel(d, 0) + iv));
+        for (int a = 1; a < kNodes; ++a) {
+          acc = vpu.sfma(car[a], vpu.sload(ch.elvel(d, a) + iv), acc);
+        }
+        vpu.sstore(ch.gpgve(g, j, d) + iv, acc);
+      }
+    }
+  }
+}
+
+void p4_pre_vector(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                   int off, int n) {
+  const fem::ShapeTable& sh = *ctx.shape;
+  vpu.set_vl(n);
+  Vec acc = vpu.vmul_s(vpu.vload(ch.elpre(0) + off), sh.n(g, 0));
+  for (int a = 1; a < kNodes; ++a) {
+    acc = vpu.vfma_s(vpu.vload(ch.elpre(a) + off), sh.n(g, a), acc);
+  }
+  vpu.vstore(ch.gppre(g) + off, acc);
+}
+
+void p4_pre_scalar(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                   int off, int n) {
+  const fem::ShapeTable& sh = *ctx.shape;
+  for (int iv = off; iv < off + n; ++iv) {
+    double acc = vpu.smul(vpu.sload(ch.elpre(0) + iv), sh.n(g, 0));
+    for (int a = 1; a < kNodes; ++a) {
+      acc = vpu.sfma(vpu.sload(ch.elpre(a) + iv), sh.n(g, a), acc);
+    }
+    vpu.sstore(ch.gppre(g) + iv, acc);
+  }
+}
+
+// ---- phase 5 subkernels ---------------------------------------------------
+
+void p5_tau_rhs_vector(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                       int off, int n) {
+  const fem::Physics& phys = ctx.state->physics();
+  vpu.set_vl(n);
+  const Vec vol = vpu.vload(ch.gpvol(g) + off);
+  const Vec h = vpu.vcbrt(vol);
+  const Vec a0 = vpu.vload(ch.gpadv(g, 0) + off);
+  const Vec a1 = vpu.vload(ch.gpadv(g, 1) + off);
+  const Vec a2 = vpu.vload(ch.gpadv(g, 2) + off);
+  Vec s = vpu.vmul(a0, a0);
+  s = vpu.vfma(a1, a1, s);
+  s = vpu.vfma(a2, a2, s);
+  const Vec advn = vpu.vsqrt(s);
+  const Vec t1 = vpu.vmul(h, h);
+  const Vec t2 = vpu.vmul_s(t1, phys.density);
+  const Vec num = vpu.vsplat(4.0 * phys.viscosity);
+  const Vec d1 = vpu.vdiv(num, t2);
+  const Vec t4 = vpu.vmul_s(advn, 2.0);
+  const Vec d2 = vpu.vdiv(t4, h);
+  Vec den = vpu.vadd(d1, d2);
+  const Vec dtf = vpu.vload(ch.dtfac() + off);
+  den = vpu.vadd(den, dtf);
+  Vec g00 = vpu.vload(ch.gpgve(g, 0, 0) + off);
+  Vec s2 = vpu.vmul(g00, g00);
+  for (int j = 0; j < kDim; ++j) {
+    for (int d = 0; d < kDim; ++d) {
+      if (j == 0 && d == 0) continue;
+      const Vec gv = vpu.vload(ch.gpgve(g, j, d) + off);
+      s2 = vpu.vfma(gv, gv, s2);
+    }
+  }
+  const Vec gn = vpu.vsqrt(s2);
+  den = vpu.vfma_s(gn, 0.1, den);
+  const Vec one = vpu.vsplat(1.0);
+  const Vec tau = vpu.vdiv(one, den);
+  vpu.vstore(ch.tau(g) + off, tau);
+  for (int d = 0; d < kDim; ++d) {
+    const double cd = phys.density * phys.force[d];
+    const Vec uold = vpu.vload(ch.gpvel(1, g, d) + off);
+    const Vec t = vpu.vmul(dtf, uold);
+    const Vec f = vpu.vadd_s(t, cd);
+    const Vec rt = vpu.vmul(f, vol);
+    vpu.vstore(ch.gprhs(g, d) + off, rt);
+  }
+  const Vec pre = vpu.vload(ch.gppre(g) + off);
+  const Vec pt = vpu.vmul(pre, vol);
+  vpu.vstore(ch.gppre_t(g) + off, pt);
+}
+
+void p5_tau_rhs_scalar(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int g,
+                       int off, int n) {
+  const fem::Physics& phys = ctx.state->physics();
+  for (int iv = off; iv < off + n; ++iv) {
+    const double vol = vpu.sload(ch.gpvol(g) + iv);
+    const double h = vpu.scbrt(vol);
+    const double a0 = vpu.sload(ch.gpadv(g, 0) + iv);
+    const double a1 = vpu.sload(ch.gpadv(g, 1) + iv);
+    const double a2 = vpu.sload(ch.gpadv(g, 2) + iv);
+    double s = vpu.smul(a0, a0);
+    s = vpu.sfma(a1, a1, s);
+    s = vpu.sfma(a2, a2, s);
+    const double advn = vpu.ssqrt(s);
+    const double t1 = vpu.smul(h, h);
+    const double t2 = vpu.smul(t1, phys.density);
+    const double d1 = vpu.sdiv(4.0 * phys.viscosity, t2);
+    const double t4 = vpu.smul(advn, 2.0);
+    const double d2 = vpu.sdiv(t4, h);
+    double den = vpu.sadd(d1, d2);
+    const double dtf = vpu.sload(ch.dtfac() + iv);
+    den = vpu.sadd(den, dtf);
+    const double g00 = vpu.sload(ch.gpgve(g, 0, 0) + iv);
+    double s2 = vpu.smul(g00, g00);
+    for (int j = 0; j < kDim; ++j) {
+      for (int d = 0; d < kDim; ++d) {
+        if (j == 0 && d == 0) continue;
+        const double gv = vpu.sload(ch.gpgve(g, j, d) + iv);
+        s2 = vpu.sfma(gv, gv, s2);
+      }
+    }
+    const double gn = vpu.ssqrt(s2);
+    den = vpu.sfma(gn, 0.1, den);
+    const double tau = vpu.sdiv(1.0, den);
+    vpu.sstore(ch.tau(g) + iv, tau);
+    for (int d = 0; d < kDim; ++d) {
+      const double cd = phys.density * phys.force[d];
+      const double uold = vpu.sload(ch.gpvel(1, g, d) + iv);
+      const double t = vpu.smul(dtf, uold);
+      const double f = vpu.sadd(t, cd);
+      const double rt = vpu.smul(f, vol);
+      vpu.sstore(ch.gprhs(g, d) + iv, rt);
+    }
+    const double pre = vpu.sload(ch.gppre(g) + iv);
+    const double pt = vpu.smul(pre, vol);
+    vpu.sstore(ch.gppre_t(g) + iv, pt);
+  }
+}
+
+void p5_mass_vector(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int off,
+                    int n) {
+  const fem::ShapeTable& sh = *ctx.shape;
+  vpu.set_vl(n);
+  Vec vol[kGauss];
+  for (int g = 0; g < kGauss; ++g) vol[g] = vpu.vload(ch.gpvol(g) + off);
+  for (int a = 0; a < kNodes; ++a) {
+    for (int b = 0; b < kNodes; ++b) {
+      Vec acc = vpu.vmul_s(vol[0], sh.n(0, a) * sh.n(0, b));
+      for (int g = 1; g < kGauss; ++g) {
+        acc = vpu.vfma_s(vol[g], sh.n(g, a) * sh.n(g, b), acc);
+      }
+      vpu.vstore(ch.mass(a, b) + off, acc);
+    }
+  }
+}
+
+void p5_mass_scalar(Vpu& vpu, const Ctx& ctx, ElementChunk& ch, int off,
+                    int n) {
+  const fem::ShapeTable& sh = *ctx.shape;
+  for (int iv = off; iv < off + n; ++iv) {
+    double vol[kGauss];
+    for (int g = 0; g < kGauss; ++g) vol[g] = vpu.sload(ch.gpvol(g) + iv);
+    for (int a = 0; a < kNodes; ++a) {
+      for (int b = 0; b < kNodes; ++b) {
+        double acc = vpu.smul(vol[0], sh.n(0, a) * sh.n(0, b));
+        for (int g = 1; g < kGauss; ++g) {
+          acc = vpu.sfma(vol[g], sh.n(g, a) * sh.n(g, b), acc);
+        }
+        vpu.sstore(ch.mass(a, b) + iv, acc);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void phase4(Vpu& vpu, const Ctx& ctx, ElementChunk& ch) {
+  const PhasePlan& plan = *ctx.plan;
+  const int vs = ch.vs();
+  const int gs = detail::group_size(vpu, ch);
+  for (int off = 0; off < vs; off += gs) {
+    const int n = gs < vs - off ? gs : vs - off;
+    for (int g = 0; g < kGauss; ++g) {
+      if (plan.p4_vel.vectorize) {
+        p4_vel_vector(vpu, ctx, ch, g, off, n);
+      } else {
+        p4_vel_scalar(vpu, ctx, ch, g, off, n);
+      }
+      if (plan.p4_gve.vectorize) {
+        p4_gve_vector(vpu, ctx, ch, g, off, n);
+      } else {
+        p4_gve_scalar(vpu, ctx, ch, g, off, n);
+      }
+      if (plan.p4_pre.vectorize) {
+        p4_pre_vector(vpu, ctx, ch, g, off, n);
+      } else {
+        p4_pre_scalar(vpu, ctx, ch, g, off, n);
+      }
+    }
+  }
+}
+
+void phase5(Vpu& vpu, const Ctx& ctx, ElementChunk& ch) {
+  const PhasePlan& plan = *ctx.plan;
+  const bool with_mass = ctx.cfg.scheme == fem::Scheme::kSemiImplicit;
+  const int vs = ch.vs();
+  const int gs = detail::group_size(vpu, ch);
+  for (int off = 0; off < vs; off += gs) {
+    const int n = gs < vs - off ? gs : vs - off;
+    for (int g = 0; g < kGauss; ++g) {
+      if (plan.p5_tau.vectorize) {
+        p5_tau_rhs_vector(vpu, ctx, ch, g, off, n);
+      } else {
+        p5_tau_rhs_scalar(vpu, ctx, ch, g, off, n);
+      }
+    }
+    if (with_mass) {
+      if (plan.p5_mass.vectorize) {
+        p5_mass_vector(vpu, ctx, ch, off, n);
+      } else {
+        p5_mass_scalar(vpu, ctx, ch, off, n);
+      }
+    }
+  }
+}
+
+}  // namespace vecfd::miniapp

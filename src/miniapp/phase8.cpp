@@ -1,0 +1,54 @@
+// Phase 8: validity check and scatter of the element contributions into the
+// global right-hand side (and the global CSR matrix under the semi-implicit
+// scheme).  Indexed stores with unprovable aliasing: never vectorized —
+// and increasingly expensive as VECTOR_SIZE grows the chunk working set
+// (the Figure 9 / Table 6 behaviour).
+#include "miniapp/phases.h"
+
+namespace vecfd::miniapp {
+
+using fem::kDim;
+using fem::kNodes;
+using sim::Vpu;
+
+void phase8(Vpu& vpu, const Ctx& ctx, ElementChunk& ch) {
+  std::vector<double>& grhs = *ctx.global_rhs;
+  solver::CsrMatrix* mat = ctx.global_matrix;
+
+  for (int iv = 0; iv < ch.vs(); ++iv) {
+    const std::int32_t ok = vpu.sload_i32(ch.valid() + iv);
+    vpu.sarith(1);  // branch
+    if (ok == 0) continue;
+
+    for (int a = 0; a < kNodes; ++a) {
+      const std::int32_t node = vpu.sload_i32(ch.lnods(a) + iv);
+      vpu.sarith(1);  // row base address
+      for (int d = 0; d < kDim; ++d) {
+        const double v = vpu.sload(ch.elrhs(d, a) + iv);
+        double* slot = &grhs[static_cast<std::size_t>(node) * kDim + d];
+        const double r = vpu.sload(slot);
+        vpu.sstore(slot, vpu.sadd(r, v));
+      }
+    }
+
+    if (mat != nullptr) {
+      for (int a = 0; a < kNodes; ++a) {
+        const std::int32_t row = vpu.sload_i32(ch.lnods(a) + iv);
+        for (int b = 0; b < kNodes; ++b) {
+          const std::int32_t col = vpu.sload_i32(ch.lnods(b) + iv);
+          const double k = vpu.sload(ch.block(a, b) + iv);
+          const std::ptrdiff_t idx = mat->find(row, col);
+          // model the CSR position lookup: rowptr load + short search
+          vpu.sload_i32(&mat->rowptr()[static_cast<std::size_t>(row)]);
+          vpu.sload_i32(&mat->cols()[static_cast<std::size_t>(idx)]);
+          vpu.sarith(4);
+          double* slot = &mat->vals()[static_cast<std::size_t>(idx)];
+          const double cur = vpu.sload(slot);
+          vpu.sstore(slot, vpu.sadd(cur, k));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace vecfd::miniapp

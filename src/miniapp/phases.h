@@ -1,0 +1,64 @@
+// vecfd::miniapp — the eight instrumented phases of the assembly mini-app.
+//
+// Each phase mirrors its description in §2.3 of the paper and is written
+// against the sim::Vpu instruction API in (up to) two forms per subkernel:
+// a scalar path and a vector path.  Which path runs is decided by the
+// PhasePlan (the modelled compiler), so a single source of truth covers the
+// scalar baseline, the vanilla auto-vectorized build and the VEC2 / IVEC2 /
+// VEC1 source transformations.  All paths compute identical values, which
+// the test suite checks against fem::assemble_element.
+#pragma once
+
+#include <vector>
+
+#include "fem/mesh.h"
+#include "fem/scheme.h"
+#include "fem/shape.h"
+#include "fem/state.h"
+#include "miniapp/chunk.h"
+#include "miniapp/config.h"
+#include "miniapp/plan.h"
+#include "sim/vpu.h"
+#include "solver/csr.h"
+
+namespace vecfd::miniapp {
+
+/// Everything a phase kernel needs besides the chunk workspace.
+struct Ctx {
+  const fem::Mesh* mesh = nullptr;
+  const fem::State* state = nullptr;
+  const fem::ShapeTable* shape = nullptr;
+  const PhasePlan* plan = nullptr;
+  MiniAppConfig cfg;
+
+  /// Memory slot standing in for the VECTOR_DIM dummy argument that the
+  /// vanilla phase 2 re-loads every iteration (§4).
+  const double* vector_dim_slot = nullptr;
+
+  /// Global assembly targets (phase 8).
+  std::vector<double>* global_rhs = nullptr;   ///< [node·kDim]
+  solver::CsrMatrix* global_matrix = nullptr;  ///< null for explicit scheme
+};
+
+void phase1(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase2(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase3(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase4(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase5(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase6(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase7(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+void phase8(sim::Vpu& vpu, const Ctx& ctx, ElementChunk& ch);
+
+namespace detail {
+
+/// Uniform group traversal: vector subkernels strip-mine in groups of
+/// min(vs, vlmax); scalar subkernels iterate the same groups element-wise,
+/// so partially vectorized phases interleave exactly like strip-mined code.
+inline int group_size(const sim::Vpu& vpu, const ElementChunk& ch) {
+  if (!vpu.config().vector_enabled) return ch.vs();
+  return ch.vs() < vpu.vlmax() ? ch.vs() : vpu.vlmax();
+}
+
+}  // namespace detail
+
+}  // namespace vecfd::miniapp

@@ -1,0 +1,173 @@
+#include "miniapp/plan.h"
+
+#include "fem/element.h"
+
+namespace vecfd::miniapp {
+
+using compiler::AccessPattern;
+using compiler::LoopInfo;
+
+namespace {
+
+// ---- subkernel source descriptions ---------------------------------------
+// Trip counts are the loop the vectorizer targets; for the SoA chunk loops
+// that is the ivect dimension (trip = VECTOR_SIZE).  Stream counts encode
+// body complexity and were chosen to reproduce the Table 4 pattern (see
+// compiler::VectorizationModel::min_profitable_trip).
+
+LoopInfo p1_fused(const MiniAppConfig& cfg) {
+  return {.id = "phase1/gather-fused",
+          .trip_count = cfg.vector_size,
+          .bound_is_compile_time_constant = true,
+          .pattern = AccessPattern::kIndexed,
+          .memory_streams = 4,
+          .fused_with_nonvectorizable = true};
+}
+
+LoopInfo p1_work_b(const MiniAppConfig& cfg) {
+  return {.id = "phase1/gather-elcod",
+          .trip_count = cfg.vector_size,
+          .bound_is_compile_time_constant = true,
+          .pattern = AccessPattern::kIndexed,
+          .memory_streams = 4};
+}
+
+LoopInfo p2_loop(const MiniAppConfig& cfg) {
+  switch (cfg.opt) {
+    case OptLevel::kScalar:
+    case OptLevel::kVanilla:
+      // VECTOR_DIM is a dummy argument the compiler re-loads each
+      // iteration: the bound is opaque (§4).
+      return {.id = "phase2/gather-unknowns",
+              .trip_count = cfg.vector_size,
+              .bound_is_compile_time_constant = false,
+              .pattern = AccessPattern::kIndexed,
+              .memory_streams = 4};
+    case OptLevel::kVec2:
+      // constant bound; the innermost loop is the per-node dof copy
+      return {.id = "phase2/gather-dofs",
+              .trip_count = fem::kDofs,
+              .bound_is_compile_time_constant = true,
+              .pattern = AccessPattern::kContiguous,
+              .memory_streams = 2};
+    case OptLevel::kIVec2:
+    case OptLevel::kVec1:
+      // interchange: ivect innermost, gathers over the unknown vector
+      return {.id = "phase2/gather-ivect",
+              .trip_count = cfg.vector_size,
+              .bound_is_compile_time_constant = true,
+              .pattern = AccessPattern::kIndexed,
+              .memory_streams = 4};
+  }
+  return {};
+}
+
+LoopInfo chunk_loop(const char* id, const MiniAppConfig& cfg, int streams) {
+  return {.id = id,
+          .trip_count = cfg.vector_size,
+          .bound_is_compile_time_constant = true,
+          .pattern = AccessPattern::kContiguous,
+          .memory_streams = streams};
+}
+
+LoopInfo p8_loop(const MiniAppConfig& cfg) {
+  return {.id = "phase8/global-scatter",
+          .trip_count = cfg.vector_size,
+          .bound_is_compile_time_constant = true,
+          .pattern = AccessPattern::kIndexed,
+          .memory_streams = 4,
+          .may_alias_stores = true};
+}
+
+}  // namespace
+
+std::vector<compiler::LoopInfo> loop_infos(const MiniAppConfig& cfg) {
+  std::vector<LoopInfo> loops;
+  if (cfg.opt == OptLevel::kVec1) {
+    loops.push_back(p1_work_b(cfg));
+  } else {
+    loops.push_back(p1_fused(cfg));
+  }
+  loops.push_back(p2_loop(cfg));
+  loops.push_back(chunk_loop("phase3/jacobian", cfg, 9));
+  loops.push_back(chunk_loop("phase3/det-inverse", cfg, 4));
+  loops.push_back(chunk_loop("phase3/cartesian-derivs", cfg, 9));
+  loops.push_back(chunk_loop("phase4/gpvel", cfg, 10));
+  loops.push_back(chunk_loop("phase4/gpgve", cfg, 10));
+  loops.push_back(chunk_loop("phase4/gppre", cfg, 9));
+  loops.push_back(chunk_loop("phase5/tau-rhs", cfg, 10));
+  loops.push_back(chunk_loop("phase5/mass", cfg, 9));
+  loops.push_back(chunk_loop("phase6/adv-test", cfg, 6));
+  loops.push_back(chunk_loop("phase6/conv-block", cfg, 10));
+  loops.push_back(chunk_loop("phase6/residual", cfg, 10));
+  loops.push_back(chunk_loop("phase7/visc-block", cfg, 4));
+  loops.push_back(chunk_loop("phase7/apply", cfg, 4));
+  loops.push_back(p8_loop(cfg));
+  return loops;
+}
+
+PhasePlan build_plan(const sim::MachineConfig& machine,
+                     const MiniAppConfig& cfg) {
+  const bool autovec = cfg.opt != OptLevel::kScalar;
+  const compiler::VectorizationModel model(machine, autovec);
+
+  PhasePlan plan;
+  plan.p1_split = cfg.opt == OptLevel::kVec1;
+  plan.p1_work_b =
+      model.analyze(plan.p1_split ? p1_work_b(cfg) : p1_fused(cfg));
+
+  switch (cfg.opt) {
+    case OptLevel::kScalar:
+    case OptLevel::kVanilla:
+      plan.p2_shape = Phase2Shape::kScalarOuterIvect;
+      break;
+    case OptLevel::kVec2:
+      plan.p2_shape = Phase2Shape::kDofInner;
+      break;
+    case OptLevel::kIVec2:
+    case OptLevel::kVec1:
+      plan.p2_shape = Phase2Shape::kIvectInner;
+      break;
+  }
+  plan.p2 = model.analyze(p2_loop(cfg));
+
+  plan.p3_jac = model.analyze(chunk_loop("phase3/jacobian", cfg, 9));
+  plan.p3_inv = model.analyze(chunk_loop("phase3/det-inverse", cfg, 4));
+  plan.p3_car = model.analyze(chunk_loop("phase3/cartesian-derivs", cfg, 9));
+  plan.p4_vel = model.analyze(chunk_loop("phase4/gpvel", cfg, 10));
+  plan.p4_gve = model.analyze(chunk_loop("phase4/gpgve", cfg, 10));
+  plan.p4_pre = model.analyze(chunk_loop("phase4/gppre", cfg, 9));
+  plan.p5_tau = model.analyze(chunk_loop("phase5/tau-rhs", cfg, 10));
+  plan.p5_mass = model.analyze(chunk_loop("phase5/mass", cfg, 9));
+  plan.p6_dw = model.analyze(chunk_loop("phase6/adv-test", cfg, 6));
+  plan.p6_cab = model.analyze(chunk_loop("phase6/conv-block", cfg, 10));
+  plan.p6_apply = model.analyze(chunk_loop("phase6/residual", cfg, 10));
+  plan.p7_blk = model.analyze(chunk_loop("phase7/visc-block", cfg, 4));
+  plan.p7_apply = model.analyze(chunk_loop("phase7/apply", cfg, 4));
+  plan.p8 = model.analyze(p8_loop(cfg));
+  return plan;
+}
+
+std::vector<std::pair<std::string, compiler::Decision>> PhasePlan::all()
+    const {
+  return {
+      {"phase1/work-b", p1_work_b},
+      {"phase2", p2},
+      {"phase3/jacobian", p3_jac},
+      {"phase3/det-inverse", p3_inv},
+      {"phase3/cartesian-derivs", p3_car},
+      {"phase4/gpvel", p4_vel},
+      {"phase4/gpgve", p4_gve},
+      {"phase4/gppre", p4_pre},
+      {"phase5/tau-rhs", p5_tau},
+      {"phase5/mass", p5_mass},
+      {"phase6/adv-test", p6_dw},
+      {"phase6/conv-block", p6_cab},
+      {"phase6/residual", p6_apply},
+      {"phase7/visc-block", p7_blk},
+      {"phase7/apply", p7_apply},
+      {"phase8", p8},
+  };
+}
+
+}  // namespace vecfd::miniapp

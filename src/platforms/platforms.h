@@ -1,0 +1,42 @@
+// vecfd::platforms — machine configurations for the paper's three systems
+// (Table 2), expressed as vecfd::sim::MachineConfig instances.
+//
+//                 RISC-V VEC   MareNostrum 4    SX-Aurora
+//   freq [MHz]        50           2100            1600
+//   vlmax (DP)       256              8             256
+//   FMA law      32 cyc @256     pipelined       8 cyc graduate
+//   BW [B/cyc]        64           11.2*            120
+//
+// * Table 2's 11.2 B/cycle for MN4 is sustained DRAM bandwidth per core;
+//   near-cache vector transfers run at one 512-bit load per cycle, which is
+//   what the streaming term of the timing model represents.  DRAM latency
+//   is carried by the cache-miss penalties instead.  See DESIGN.md.
+#pragma once
+
+#include "sim/machine_config.h"
+
+namespace vecfd::platforms {
+
+/// The EPI RISC-V vector prototype (Avispado + Vitruvius VPU, RVV 0.7.1):
+/// 16-kbit registers (256 DP elements), 8 FPU lanes, FSM sweet spot at
+/// vl % 40 == 0, 1 MB L2, FPGA at 50 MHz.
+sim::MachineConfig riscv_vec();
+
+/// Same machine with the vector unit disabled (the paper's scalar baseline:
+/// "running the mini-app scalar on the RISC-V vector system with
+/// vectorization disabled").
+sim::MachineConfig riscv_vec_scalar();
+
+/// NEC SX-Aurora VE20B vector engine: 256-element registers, 32 FMA slots
+/// (one vector FMA graduates in 8 cycles), 120 B/cycle, 1.6 GHz.
+sim::MachineConfig sx_aurora();
+
+/// MareNostrum 4 node core: Intel Xeon Platinum 8160 with AVX-512
+/// (8 DP elements, 2 FMA ports), 2.1 GHz.
+sim::MachineConfig mn4_avx512();
+
+/// Turn any configuration into its scalar twin (vector unit disabled);
+/// name gains a "-scalar" suffix.
+sim::MachineConfig scalar_variant(sim::MachineConfig cfg);
+
+}  // namespace vecfd::platforms

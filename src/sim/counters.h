@@ -1,0 +1,124 @@
+// vecfd::sim — hardware-counter model.
+//
+// Mirrors the quantities the paper gathers with PAPI/Extrae and the Vehave
+// emulator (§2.2): total and vector cycles (ct, cv), total and vector
+// instruction counts (it, iv), per-class instruction counts, the summed
+// vector length of vector instructions (for AVL), and L1/L2 data-cache
+// misses (mL1, mL2).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/instruction.h"
+
+namespace vecfd::sim {
+
+struct Counters {
+  // ---- instruction counts, by class ------------------------------------
+  std::uint64_t scalar_alu_instrs = 0;
+  std::uint64_t scalar_mem_instrs = 0;
+  std::uint64_t vconfig_instrs = 0;
+  std::uint64_t varith_instrs = 0;
+  std::uint64_t vmem_unit_instrs = 0;
+  std::uint64_t vmem_strided_instrs = 0;
+  std::uint64_t vmem_indexed_instrs = 0;
+  std::uint64_t vctrl_instrs = 0;
+
+  // ---- cycles ------------------------------------------------------------
+  double scalar_cycles = 0.0;   ///< includes vconfig issue cost
+  double vector_cycles = 0.0;   ///< cv: cycles executing vector instructions
+
+  // ---- vector-length accounting -------------------------------------------
+  std::uint64_t vl_sum = 0;     ///< sum of vl over all vector instructions
+
+  // ---- work & memory -------------------------------------------------------
+  std::uint64_t flops = 0;      ///< double-precision FLOPs actually performed
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+
+  // ---- derived totals --------------------------------------------------
+  std::uint64_t scalar_instrs() const {
+    return scalar_alu_instrs + scalar_mem_instrs;
+  }
+  std::uint64_t vmem_instrs() const {
+    return vmem_unit_instrs + vmem_strided_instrs + vmem_indexed_instrs;
+  }
+  /// iv: instructions executed on the VPU (Figure 1 "Vector" box).
+  std::uint64_t vector_instrs() const {
+    return varith_instrs + vmem_instrs() + vctrl_instrs;
+  }
+  /// it: every executed instruction.
+  std::uint64_t total_instrs() const {
+    return scalar_instrs() + vconfig_instrs + vector_instrs();
+  }
+  /// ct: total cycles (scalar and vector pipelines are not overlapped in the
+  /// in-order prototype, matching the paper's observation in §4).
+  double total_cycles() const { return scalar_cycles + vector_cycles; }
+
+  /// Record one instruction of class @p kind costing @p cycles; vector
+  /// instructions additionally account their vector length @p vl.
+  void record(InstrKind kind, double cycles, std::uint64_t vl = 0) {
+    switch (kind) {
+      case InstrKind::kScalarAlu:   ++scalar_alu_instrs; break;
+      case InstrKind::kScalarMem:   ++scalar_mem_instrs; break;
+      case InstrKind::kVConfig:     ++vconfig_instrs; break;
+      case InstrKind::kVArith:      ++varith_instrs; break;
+      case InstrKind::kVMemUnit:    ++vmem_unit_instrs; break;
+      case InstrKind::kVMemStrided: ++vmem_strided_instrs; break;
+      case InstrKind::kVMemIndexed: ++vmem_indexed_instrs; break;
+      case InstrKind::kVCtrl:       ++vctrl_instrs; break;
+    }
+    if (is_vector(kind)) {
+      vector_cycles += cycles;
+      vl_sum += vl;
+    } else {
+      scalar_cycles += cycles;
+    }
+  }
+
+  Counters& operator+=(const Counters& o);
+  Counters& operator-=(const Counters& o);
+  friend Counters operator+(Counters a, const Counters& b) { return a += b; }
+  friend Counters operator-(Counters a, const Counters& b) { return a -= b; }
+};
+
+inline Counters& Counters::operator+=(const Counters& o) {
+  scalar_alu_instrs += o.scalar_alu_instrs;
+  scalar_mem_instrs += o.scalar_mem_instrs;
+  vconfig_instrs += o.vconfig_instrs;
+  varith_instrs += o.varith_instrs;
+  vmem_unit_instrs += o.vmem_unit_instrs;
+  vmem_strided_instrs += o.vmem_strided_instrs;
+  vmem_indexed_instrs += o.vmem_indexed_instrs;
+  vctrl_instrs += o.vctrl_instrs;
+  scalar_cycles += o.scalar_cycles;
+  vector_cycles += o.vector_cycles;
+  vl_sum += o.vl_sum;
+  flops += o.flops;
+  l1_accesses += o.l1_accesses;
+  l1_misses += o.l1_misses;
+  l2_misses += o.l2_misses;
+  return *this;
+}
+
+inline Counters& Counters::operator-=(const Counters& o) {
+  scalar_alu_instrs -= o.scalar_alu_instrs;
+  scalar_mem_instrs -= o.scalar_mem_instrs;
+  vconfig_instrs -= o.vconfig_instrs;
+  varith_instrs -= o.varith_instrs;
+  vmem_unit_instrs -= o.vmem_unit_instrs;
+  vmem_strided_instrs -= o.vmem_strided_instrs;
+  vmem_indexed_instrs -= o.vmem_indexed_instrs;
+  vctrl_instrs -= o.vctrl_instrs;
+  scalar_cycles -= o.scalar_cycles;
+  vector_cycles -= o.vector_cycles;
+  vl_sum -= o.vl_sum;
+  flops -= o.flops;
+  l1_accesses -= o.l1_accesses;
+  l1_misses -= o.l1_misses;
+  l2_misses -= o.l2_misses;
+  return *this;
+}
+
+}  // namespace vecfd::sim

@@ -1,0 +1,50 @@
+// vecfd::sim — instruction taxonomy (paper Figure 1).
+//
+// Executed instructions are split into "Scalar", "Vector configuration" and
+// "Vector" classes; vector instructions subdivide into arithmetic, memory
+// (unit-stride / strided / indexed) and control-lane instructions.
+#pragma once
+
+#include <string_view>
+
+namespace vecfd::sim {
+
+enum class InstrKind {
+  kScalarAlu,     ///< scalar integer/FP arithmetic, branches, address calc
+  kScalarMem,     ///< scalar load/store
+  kVConfig,       ///< vsetvl-style vector-length/element-width configuration
+  kVArith,        ///< vector arithmetic (add/mul/fma/div/sqrt/reductions)
+  kVMemUnit,      ///< unit-stride vector load/store
+  kVMemStrided,   ///< constant-stride vector load/store
+  kVMemIndexed,   ///< indexed (gather/scatter) vector load/store
+  kVCtrl,         ///< control-lane: broadcasts, moves, merges, slides
+};
+
+/// True for the three vector-memory subclasses.
+constexpr bool is_vector_memory(InstrKind k) {
+  return k == InstrKind::kVMemUnit || k == InstrKind::kVMemStrided ||
+         k == InstrKind::kVMemIndexed;
+}
+
+/// True for every instruction executed on the vector processing unit
+/// (the paper's "Vector" box: arithmetic + memory + control lane).
+constexpr bool is_vector(InstrKind k) {
+  return k == InstrKind::kVArith || is_vector_memory(k) ||
+         k == InstrKind::kVCtrl;
+}
+
+constexpr std::string_view to_string(InstrKind k) {
+  switch (k) {
+    case InstrKind::kScalarAlu:   return "scalar-alu";
+    case InstrKind::kScalarMem:   return "scalar-mem";
+    case InstrKind::kVConfig:     return "vconfig";
+    case InstrKind::kVArith:      return "varith";
+    case InstrKind::kVMemUnit:    return "vmem-unit";
+    case InstrKind::kVMemStrided: return "vmem-strided";
+    case InstrKind::kVMemIndexed: return "vmem-indexed";
+    case InstrKind::kVCtrl:       return "vctrl";
+  }
+  return "unknown";
+}
+
+}  // namespace vecfd::sim

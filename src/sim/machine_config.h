@@ -1,0 +1,61 @@
+// vecfd::sim — machine description.
+//
+// A MachineConfig captures the per-core parameters the paper reports in
+// Table 2 plus the micro-architectural behaviours its analysis relies on:
+// the FPU-lane count, vector-instruction startup, the FSM throughput quirk
+// that makes vl=240 the sweet spot on RISC-V VEC (footnote 4 / §5), memory
+// bandwidth in bytes/cycle, and the cache hierarchy.
+#pragma once
+
+#include <string>
+
+#include "mem/memory_hierarchy.h"
+
+namespace vecfd::sim {
+
+struct MachineConfig {
+  std::string name = "riscv-vec";
+  double frequency_mhz = 50.0;
+
+  // ---- vector datapath ----------------------------------------------------
+  bool vector_enabled = true;
+  int vlmax = 256;          ///< max double-precision elements per register
+  int lanes = 8;            ///< FPUs operating in parallel
+
+  /// The Vitruvius FSM issues element groups most efficiently when the
+  /// vector length is a multiple of `lanes * fsm_group` (8·5 = 40 on
+  /// RISC-V VEC).  Off-multiple lengths pay `fsm_penalty` on the per-chunk
+  /// throughput.  Set `fsm_group = 1` to disable the quirk (other machines).
+  int fsm_group = 5;
+  double fsm_penalty = 1.07;
+
+  double arith_startup = 4.0;  ///< decode/issue/dispatch cycles, arithmetic
+  double mem_startup = 10.0;   ///< decode/issue/address-gen cycles, memory
+  double div_factor = 8.0;     ///< per-chunk multiplier for vdiv/vsqrt
+  double ctrl_factor = 0.5;    ///< per-chunk multiplier for control-lane ops
+
+  // ---- memory system -------------------------------------------------------
+  double bytes_per_cycle = 64.0;        ///< streaming bandwidth (Table 2)
+  double indexed_elems_per_cycle = 2.0; ///< gather/scatter element rate
+  double strided_elems_per_cycle = 4.0; ///< strided element rate
+
+  /// Fraction of the cache-miss penalty exposed to a unit-stride vector
+  /// stream (hardware overlaps outstanding line fills).  Gathers/scatters
+  /// keep many fills in flight (miss_overlap_indexed); short strided
+  /// accesses drain through the store buffer per element and expose more
+  /// (miss_overlap_strided).
+  double miss_overlap_unit = 0.25;
+  double miss_overlap_indexed = 0.6;
+  double miss_overlap_strided = 0.9;
+
+  // ---- scalar core ----------------------------------------------------------
+  double scalar_cpi = 1.0;       ///< base cycles per scalar instruction
+  double scalar_mem_cpi = 1.0;   ///< base cycles per scalar load/store
+
+  mem::HierarchyConfig memory;
+
+  /// Effective vector length for a request of @p n elements.
+  int clamp_vl(int n) const { return n < vlmax ? n : vlmax; }
+};
+
+}  // namespace vecfd::sim

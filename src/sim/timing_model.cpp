@@ -1,0 +1,45 @@
+#include "sim/timing_model.h"
+
+#include <cmath>
+
+namespace vecfd::sim {
+
+double TimingModel::fsm_factor(int vl) const {
+  const int group = cfg_->lanes * cfg_->fsm_group;
+  if (cfg_->fsm_group <= 1 || group <= 0) return 1.0;
+  return (vl % group == 0) ? 1.0 : cfg_->fsm_penalty;
+}
+
+double TimingModel::chunks(int vl) const {
+  const double per_lane = std::ceil(static_cast<double>(vl) / cfg_->lanes);
+  return per_lane * fsm_factor(vl);
+}
+
+double TimingModel::varith_cycles(int vl, ArithOp op) const {
+  double factor = 1.0;
+  switch (op) {
+    case ArithOp::kSimple:  factor = 1.0; break;
+    case ArithOp::kDivSqrt: factor = cfg_->div_factor; break;
+    case ArithOp::kReduce:  factor = 2.0; break;
+  }
+  return cfg_->arith_startup + chunks(vl) * factor;
+}
+
+double TimingModel::vctrl_cycles(int vl) const {
+  return cfg_->arith_startup + chunks(vl) * cfg_->ctrl_factor;
+}
+
+double TimingModel::vmem_unit_cycles(int vl) const {
+  const double bytes = 8.0 * vl;
+  return cfg_->mem_startup + bytes / cfg_->bytes_per_cycle;
+}
+
+double TimingModel::vmem_strided_cycles(int vl) const {
+  return cfg_->mem_startup + vl / cfg_->strided_elems_per_cycle;
+}
+
+double TimingModel::vmem_indexed_cycles(int vl) const {
+  return cfg_->mem_startup + vl / cfg_->indexed_elems_per_cycle;
+}
+
+}  // namespace vecfd::sim

@@ -1,0 +1,58 @@
+// vecfd::sim — instruction latency model.
+//
+// Anchors from the paper:
+//  * a vector FMA takes ~32 cycles at vl = 256 on RISC-V VEC (8 lanes), and
+//    fewer cycles at shorter vector lengths (§4, Table 5 discussion);
+//  * vector lengths that are multiples of 40 (8 lanes × 5 FSM groups) have
+//    higher element throughput (footnote 4, §5) — the reason
+//    VECTOR_SIZE = 240 beats 256;
+//  * an FMA "graduates" in 8 cycles on NEC SX-Aurora (§2.4), i.e. the same
+//    `ceil(vl / lanes)` law with 32 effective FMA slots.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine_config.h"
+
+namespace vecfd::sim {
+
+/// Cost multipliers distinguishing arithmetic flavours.
+enum class ArithOp {
+  kSimple,   ///< add/sub/mul/fma/min/max/abs — fully pipelined
+  kDivSqrt,  ///< iterative: pays MachineConfig::div_factor per chunk
+  kReduce,   ///< log-tree reduction across lanes
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Throughput multiplier of the lane-feeding FSM for a given vl.
+  /// 1.0 when vl is a multiple of lanes*fsm_group (or the quirk is off).
+  double fsm_factor(int vl) const;
+
+  /// Execution cycles of one vector arithmetic instruction of length @p vl.
+  double varith_cycles(int vl, ArithOp op = ArithOp::kSimple) const;
+
+  /// Execution cycles of one control-lane instruction (broadcast/move/...).
+  double vctrl_cycles(int vl) const;
+
+  /// Base (cache-penalty-free) cycles of one vector memory instruction.
+  double vmem_unit_cycles(int vl) const;
+  double vmem_strided_cycles(int vl) const;
+  double vmem_indexed_cycles(int vl) const;
+
+  /// Base cycles of scalar instructions.
+  double scalar_alu_cycles() const { return cfg_->scalar_cpi; }
+  double scalar_mem_cycles() const { return cfg_->scalar_mem_cpi; }
+  double vconfig_cycles() const { return cfg_->scalar_cpi; }
+
+  const MachineConfig& config() const { return *cfg_; }
+
+ private:
+  double chunks(int vl) const;  // ceil(vl / lanes) · fsm_factor(vl)
+
+  const MachineConfig* cfg_;
+};
+
+}  // namespace vecfd::sim

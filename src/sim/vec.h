@@ -1,0 +1,41 @@
+// vecfd::sim — value of a vector register.
+//
+// A Vec carries the actual double-precision elements a modelled vector
+// register holds, so simulated kernels compute bit-exact results that the
+// test suite validates against the golden scalar reference.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace vecfd::sim {
+
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t n, double fill = 0.0) : v_(n, fill) {}
+
+  int size() const { return static_cast<int>(v_.size()); }
+  bool empty() const { return v_.empty(); }
+
+  double& operator[](std::size_t i) {
+    assert(i < v_.size());
+    return v_[i];
+  }
+  double operator[](std::size_t i) const {
+    assert(i < v_.size());
+    return v_[i];
+  }
+
+  double* data() { return v_.data(); }
+  const double* data() const { return v_.data(); }
+
+  std::vector<double>& raw() { return v_; }
+  const std::vector<double>& raw() const { return v_; }
+
+ private:
+  std::vector<double> v_;
+};
+
+}  // namespace vecfd::sim

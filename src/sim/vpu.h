@@ -1,0 +1,153 @@
+// vecfd::sim — the long-vector machine.
+//
+// A Vpu executes kernels written against an explicit scalar/vector
+// instruction API.  Every call does two things at once:
+//   1. performs the real double-precision computation on real host memory
+//      (so results are exact and testable against a golden reference), and
+//   2. charges cycles and updates hardware counters according to the
+//      TimingModel and the cache hierarchy — reproducing the
+//      counter-based analysis the paper performs with PAPI/Vehave.
+//
+// The instruction vocabulary follows the RISC-V vector extension subset the
+// paper's kernels exercise: vsetvl, unit-stride / strided / indexed loads
+// and stores, elementwise arithmetic (incl. FMA, div, sqrt), reductions,
+// broadcasts and merges, plus the scalar core.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/memory_hierarchy.h"
+#include "sim/counters.h"
+#include "sim/machine_config.h"
+#include "sim/phase_profiler.h"
+#include "sim/timing_model.h"
+#include "sim/vec.h"
+
+namespace vecfd::sim {
+
+/// Observer hook for per-instruction tracing (implemented by
+/// vecfd::trace::VehaveTrace; kept abstract here to avoid a cycle).
+class InstrObserver {
+ public:
+  virtual ~InstrObserver() = default;
+  virtual void on_instr(int phase, InstrKind kind, int vl, double cycles) = 0;
+};
+
+class Vpu {
+ public:
+  explicit Vpu(MachineConfig cfg, int num_phases = 8);
+
+  // ---- configuration & state ------------------------------------------
+  const MachineConfig& config() const { return cfg_; }
+  const TimingModel& timing() const { return timing_; }
+  mem::MemoryHierarchy& memory() { return mem_; }
+  const mem::MemoryHierarchy& memory() const { return mem_; }
+  PhaseProfiler& profiler() { return profiler_; }
+  const PhaseProfiler& profiler() const { return profiler_; }
+  const Counters& counters() const { return total_; }
+
+  void set_observer(InstrObserver* obs) { observer_ = obs; }
+
+  /// Reset counters, phases and caches for an independent measurement.
+  void reset();
+
+  /// Wall-clock seconds implied by the accumulated cycles at the modelled
+  /// core frequency.
+  double seconds() const {
+    return total_.total_cycles() / (cfg_.frequency_mhz * 1e6);
+  }
+
+  // ---- vector configuration -------------------------------------------
+  /// vsetvl: request @p n elements; the granted vl is min(n, vlmax).
+  int set_vl(int n);
+  int vl() const { return vl_; }
+  int vlmax() const { return cfg_.vlmax; }
+
+  // ---- vector memory -----------------------------------------------------
+  Vec vload(const double* p);
+  Vec vload_strided(const double* p, std::ptrdiff_t stride_elems);
+  /// Unit-stride load of 32-bit indices (values returned widened to double).
+  Vec vload_i32(const std::int32_t* p);
+  Vec vgather(const double* base, const Vec& idx);
+  void vstore(double* p, const Vec& v);
+  void vstore_strided(double* p, std::ptrdiff_t stride_elems, const Vec& v);
+  void vscatter(double* base, const Vec& idx, const Vec& v);
+
+  // ---- vector arithmetic (elementwise over the operand length) ---------
+  Vec vadd(const Vec& a, const Vec& b);
+  Vec vsub(const Vec& a, const Vec& b);
+  Vec vmul(const Vec& a, const Vec& b);
+  Vec vdiv(const Vec& a, const Vec& b);
+  Vec vfma(const Vec& a, const Vec& b, const Vec& c);   ///< a*b + c
+  Vec vfnma(const Vec& a, const Vec& b, const Vec& c);  ///< c - a*b (vfnmsac)
+  Vec vsqrt(const Vec& a);
+  Vec vcbrt(const Vec& a);  ///< vectorized libm cbrt (EPI vector-math call)
+  Vec vabs(const Vec& a);
+  Vec vmax(const Vec& a, const Vec& b);
+
+  // vector-scalar forms (vfadd.vf / vfmul.vf / vfmacc.vf ...)
+  Vec vadd_s(const Vec& a, double s);
+  Vec vmul_s(const Vec& a, double s);
+  Vec vfma_s(const Vec& a, double s, const Vec& c);  ///< a*s + c
+
+  // integer-flavoured vector arithmetic for index computation (no FLOPs)
+  Vec viadd_s(const Vec& a, double s);
+  Vec vimul_s(const Vec& a, double s);
+
+  /// Ordered sum reduction (vfredsum); result returned to the scalar core.
+  double vredsum(const Vec& a);
+
+  // ---- control-lane instructions -------------------------------------------
+  Vec vsplat(double s);               ///< broadcast (vmv.v.f)
+  Vec viota();                        ///< 0,1,2,...,vl-1 (viota.m)
+  Vec vmerge(const Vec& mask, const Vec& a, const Vec& b);  ///< mask? a : b
+  Vec vge_s(const Vec& a, double s);  ///< mask: a[i] >= s ? 1 : 0
+
+  // ---- scalar core ------------------------------------------------------------
+  double sload(const double* p);
+  std::int32_t sload_i32(const std::int32_t* p);
+  void sstore(double* p, double v);
+  void sstore_i32(std::int32_t* p, std::int32_t v);
+
+  /// Count @p n generic scalar ALU instructions (loop control, addressing,
+  /// comparisons) without an associated data value.
+  void sarith(std::uint64_t n = 1);
+
+  // convenience scalar FP helpers: compute, count one instruction + FLOPs
+  double sadd(double a, double b);
+  double ssub(double a, double b);
+  double smul(double a, double b);
+  double sdiv(double a, double b);
+  double sfma(double a, double b, double c);
+  double sfnma(double a, double b, double c);  ///< c - a*b
+  double ssqrt(double a);
+  double scbrt(double a);
+
+ private:
+  Vec make_result(std::size_t n) const { return Vec(n); }
+
+  void record(InstrKind kind, double cycles, int vl_used);
+
+  /// Touch whole lines of [addr, addr+bytes); returns cycle penalty and
+  /// updates cache counters.
+  double touch_range(const void* p, std::size_t bytes);
+  /// Touch the single line containing an 8-byte element.
+  double touch_elem(const void* p);
+
+  void require_vector(const char* what) const;
+  void require_operands(const Vec& a, const char* what) const;
+
+  /// Miss-latency exposure of a unit-stride access of length @p vl.
+  double unit_overlap(int vl) const;
+
+  MachineConfig cfg_;
+  TimingModel timing_;
+  mem::MemoryHierarchy mem_;
+  PhaseProfiler profiler_;
+  Counters total_;
+  InstrObserver* observer_ = nullptr;
+  int vl_ = 0;
+};
+
+}  // namespace vecfd::sim

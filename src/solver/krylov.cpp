@@ -1,0 +1,179 @@
+#include "solver/krylov.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vecfd::solver {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: dimension mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> jacobi_inverse_diagonal(const CsrMatrix& a) {
+  const int n = a.rows();
+  std::vector<double> inv(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double d = a.at(r, r);
+    if (d == 0.0) {
+      throw std::runtime_error("jacobi preconditioner: zero diagonal at row " +
+                               std::to_string(r));
+    }
+    inv[static_cast<std::size_t>(r)] = 1.0 / d;
+  }
+  return inv;
+}
+
+namespace {
+void apply_precond(const std::vector<double>& dinv,
+                   std::span<const double> r, std::span<double> z) {
+  if (dinv.empty()) {
+    std::copy(r.begin(), r.end(), z.begin());
+  } else {
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = dinv[i] * r[i];
+  }
+}
+}  // namespace
+
+SolveReport cg(const CsrMatrix& a, std::span<const double> b,
+               std::span<double> x, const SolveOptions& opts) {
+  const std::size_t n = b.size();
+  if (static_cast<int>(n) != a.rows() || x.size() != n) {
+    throw std::invalid_argument("cg: dimension mismatch");
+  }
+  SolveReport rep;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    rep.converged = true;
+    return rep;
+  }
+  std::vector<double> dinv;
+  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.spmv(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  apply_precond(dinv, r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    a.spmv(p, ap);
+    const double pap = dot(p, ap);
+    if (pap == 0.0) break;
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const double rel = norm2(r) / bnorm;
+    rep.history.push_back(rel);
+    rep.iterations = it + 1;
+    rep.residual = rel;
+    if (rel < opts.rel_tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    apply_precond(dinv, r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return rep;
+}
+
+SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts) {
+  const std::size_t n = b.size();
+  if (static_cast<int>(n) != a.rows() || x.size() != n) {
+    throw std::invalid_argument("bicgstab: dimension mismatch");
+  }
+  SolveReport rep;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    rep.converged = true;
+    return rep;
+  }
+  std::vector<double> dinv;
+  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+
+  std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n);
+  std::vector<double> phat(n), shat(n);
+  a.spmv(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0 = r;
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    double rho_new = dot(r0, r);
+    bool restart = it == 0;
+    if (rho_new == 0.0) {
+      // serious breakdown: the shadow residual became orthogonal to r
+      // (common when Dirichlet rows decouple); restart with r0 = r.
+      r0 = r;
+      rho_new = dot(r, r);
+      if (rho_new == 0.0) break;
+      restart = true;
+    }
+    if (restart) {
+      p = r;
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    rho = rho_new;
+    apply_precond(dinv, p, phat);
+    a.spmv(phat, v);
+    const double r0v = dot(r0, v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(s) / bnorm < opts.rel_tolerance) {
+      axpy(alpha, phat, x);
+      rep.iterations = it + 1;
+      rep.residual = norm2(s) / bnorm;
+      rep.history.push_back(rep.residual);
+      rep.converged = true;
+      return rep;
+    }
+    apply_precond(dinv, s, shat);
+    a.spmv(shat, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    const double rel = norm2(r) / bnorm;
+    rep.history.push_back(rel);
+    rep.iterations = it + 1;
+    rep.residual = rel;
+    if (rel < opts.rel_tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    if (omega == 0.0) break;
+  }
+  return rep;
+}
+
+}  // namespace vecfd::solver

@@ -1,0 +1,44 @@
+// vecfd::solver — Krylov solvers with optional Jacobi preconditioning.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "solver/csr.h"
+
+namespace vecfd::solver {
+
+struct SolveOptions {
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-10;  ///< on ‖r‖₂ / ‖b‖₂
+  bool jacobi_precondition = true;
+};
+
+struct SolveReport {
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;      ///< final relative residual
+  std::vector<double> history;  ///< relative residual per iteration
+};
+
+/// Conjugate gradients — for symmetric positive-definite systems (e.g. the
+/// pressure Poisson operator or the pure-viscous momentum matrix).
+SolveReport cg(const CsrMatrix& a, std::span<const double> b,
+               std::span<double> x, const SolveOptions& opts = {});
+
+/// BiCGStab — for the nonsymmetric semi-implicit momentum operator
+/// (convection makes it non-self-adjoint).
+SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts = {});
+
+/// Inverse-diagonal of @p a (the Jacobi preconditioner).
+/// @throws std::runtime_error on a zero diagonal entry.
+std::vector<double> jacobi_inverse_diagonal(const CsrMatrix& a);
+
+// small BLAS-1 helpers shared by the solvers (exposed for tests)
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+}  // namespace vecfd::solver

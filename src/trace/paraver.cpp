@@ -1,0 +1,58 @@
+#include "trace/paraver.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace vecfd::trace {
+
+namespace {
+constexpr long long kEventKind = 42000001;
+constexpr long long kEventVl = 42000002;
+constexpr long long kEventPhase = 42000003;
+
+long long kind_code(sim::InstrKind k) {
+  return static_cast<long long>(k) + 1;
+}
+}  // namespace
+
+std::size_t write_paraver_prv(std::ostream& os, const VehaveTrace& trace,
+                              const ParaverExportOptions& opts) {
+  // Total trace time: summed cycles of recorded instructions.
+  double total = 0.0;
+  for (const TraceRecord& r : trace.records()) total += r.cycles;
+  const auto total_time =
+      static_cast<long long>(std::ceil(total * opts.time_per_cycle)) + 1;
+
+  // Header: #Paraver (date): duration : nodes(cpus) : apps : app info
+  os << "#Paraver (01/01/2024 at 00:00):" << total_time
+     << ":1(1):1:1(1:1)\n";
+
+  double clock = 0.0;
+  std::size_t written = 0;
+  for (const TraceRecord& r : trace.records()) {
+    const auto t = static_cast<long long>(clock * opts.time_per_cycle);
+    // Event record: 2:cpu:app:task:thread:time:type:value[:type:value...]
+    os << "2:1:1:1:1:" << t << ':' << kEventKind << ':' << kind_code(r.kind)
+       << ':' << kEventVl << ':' << r.vl << ':' << kEventPhase << ':'
+       << r.phase << '\n';
+    clock += r.cycles;
+    ++written;
+  }
+  return written;
+}
+
+void write_paraver_pcf(std::ostream& os) {
+  os << "EVENT_TYPE\n"
+     << "0 " << kEventKind << " Instruction kind\n"
+     << "VALUES\n";
+  for (int k = 0; k <= static_cast<int>(sim::InstrKind::kVCtrl); ++k) {
+    os << (k + 1) << ' '
+       << sim::to_string(static_cast<sim::InstrKind>(k)) << '\n';
+  }
+  os << "\nEVENT_TYPE\n"
+     << "0 " << kEventVl << " Vector length\n"
+     << "\nEVENT_TYPE\n"
+     << "0 " << kEventPhase << " Mini-app phase\n";
+}
+
+}  // namespace vecfd::trace

@@ -1,0 +1,33 @@
+// vecfd::trace — Paraver-compatible trace export.
+//
+// The paper visualizes both Extrae and Vehave traces with Paraver (§2.1.4).
+// We emit the textual .prv format (header + state/event records) so traces
+// produced by the simulator can be inspected with the same workflow:
+//   * one state record per phase region (state value = phase id), and
+//   * one event record per traced vector instruction
+//     (event type 42000001 = instruction kind, 42000002 = vector length).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/vehave_trace.h"
+
+namespace vecfd::trace {
+
+struct ParaverExportOptions {
+  /// Scale factor from modelled cycles to the integer "time" of the trace.
+  double time_per_cycle = 1.0;
+  std::string application_name = "vecfd-miniapp";
+};
+
+/// Write @p trace as a .prv body to @p os.  Returns the number of records
+/// written.  The companion .pcf/.row metadata is written by
+/// `write_paraver_pcf` so the file set loads cleanly.
+std::size_t write_paraver_prv(std::ostream& os, const VehaveTrace& trace,
+                              const ParaverExportOptions& opts = {});
+
+/// Write the .pcf metadata (event type names and value labels).
+void write_paraver_pcf(std::ostream& os);
+
+}  // namespace vecfd::trace

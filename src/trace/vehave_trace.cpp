@@ -1,0 +1,27 @@
+#include "trace/vehave_trace.h"
+
+namespace vecfd::trace {
+
+double VehaveTrace::avl(int phase) const {
+  std::uint64_t n = 0;
+  std::uint64_t sum = 0;
+  for (const TraceRecord& r : records_) {
+    if (!sim::is_vector(r.kind)) continue;
+    if (phase >= 0 && r.phase != phase) continue;
+    ++n;
+    sum += static_cast<std::uint64_t>(r.vl);
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+std::uint64_t VehaveTrace::count(sim::InstrKind kind, int phase) const {
+  std::uint64_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.kind != kind) continue;
+    if (phase >= 0 && r.phase != phase) continue;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vecfd::trace

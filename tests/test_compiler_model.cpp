@@ -1,0 +1,124 @@
+// Tests for the auto-vectorization decision model — it must reproduce the
+// decisions the paper reports in §4 / Table 4.
+#include <gtest/gtest.h>
+
+#include "compiler/vectorization_model.h"
+#include "platforms/platforms.h"
+
+namespace {
+
+using vecfd::compiler::AccessPattern;
+using vecfd::compiler::Decision;
+using vecfd::compiler::LoopInfo;
+using vecfd::compiler::VectorizationModel;
+using vecfd::platforms::riscv_vec;
+
+LoopInfo simple_loop(int trip) {
+  return {.id = "t",
+          .trip_count = trip,
+          .bound_is_compile_time_constant = true,
+          .pattern = AccessPattern::kContiguous,
+          .memory_streams = 2};
+}
+
+TEST(VectorizationModel, DisabledMeansScalar) {
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m, /*enabled=*/false);
+  const Decision d = vm.analyze(simple_loop(256));
+  EXPECT_FALSE(d.vectorize);
+  EXPECT_NE(d.remark.find("disabled"), std::string::npos);
+}
+
+TEST(VectorizationModel, ScalarMachineNeverVectorizes) {
+  const auto m = vecfd::platforms::riscv_vec_scalar();
+  const VectorizationModel vm(m, /*enabled=*/true);
+  EXPECT_FALSE(vm.analyze(simple_loop(256)).vectorize);
+}
+
+TEST(VectorizationModel, OpaqueBoundBlocksVectorization) {
+  // the phase-2 story: VECTOR_DIM dummy argument re-fetched each iteration
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  LoopInfo l = simple_loop(256);
+  l.bound_is_compile_time_constant = false;
+  const Decision d = vm.analyze(l);
+  EXPECT_FALSE(d.vectorize);
+  EXPECT_NE(d.remark.find("compile-time"), std::string::npos);
+}
+
+TEST(VectorizationModel, FusedNonVectorizableBlocksAtRuntime) {
+  // the phase-1 story: work B is vectorizable but fused with work A
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  LoopInfo l = simple_loop(256);
+  l.fused_with_nonvectorizable = true;
+  const Decision d = vm.analyze(l);
+  EXPECT_FALSE(d.vectorize);
+  EXPECT_NE(d.remark.find("fission"), std::string::npos);
+}
+
+TEST(VectorizationModel, AliasedScatterBlocks) {
+  // the phase-8 story
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  LoopInfo l = simple_loop(256);
+  l.pattern = AccessPattern::kIndexed;
+  l.may_alias_stores = true;
+  EXPECT_FALSE(vm.analyze(l).vectorize);
+}
+
+TEST(VectorizationModel, GrantedVlClampsToVlmax) {
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  EXPECT_EQ(vm.analyze(simple_loop(512)).vl, 256);
+  EXPECT_EQ(vm.analyze(simple_loop(240)).vl, 240);
+}
+
+TEST(VectorizationModel, Vec2TripFourIsProfitable) {
+  // VEC2 vectorizes the dof loop (trip 4, contiguous, lean body)
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  const Decision d = vm.analyze(simple_loop(4));
+  EXPECT_TRUE(d.vectorize);
+  EXPECT_EQ(d.vl, 4);
+}
+
+TEST(VectorizationModel, CostModelThresholds) {
+  using VM = VectorizationModel;
+  EXPECT_EQ(VM::min_profitable_trip(AccessPattern::kContiguous, 2), 4);
+  EXPECT_EQ(VM::min_profitable_trip(AccessPattern::kContiguous, 6), 8);
+  EXPECT_EQ(VM::min_profitable_trip(AccessPattern::kContiguous, 10), 32);
+  EXPECT_EQ(VM::min_profitable_trip(AccessPattern::kStrided, 2), 8);
+  EXPECT_EQ(VM::min_profitable_trip(AccessPattern::kIndexed, 4), 16);
+  EXPECT_EQ(VM::min_profitable_trip(AccessPattern::kIndexed, 10), 128);
+}
+
+TEST(VectorizationModel, UnprofitableBelowThreshold) {
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  LoopInfo l = simple_loop(16);
+  l.memory_streams = 10;  // threshold 32
+  const Decision d = vm.analyze(l);
+  EXPECT_FALSE(d.vectorize);
+  EXPECT_NE(d.remark.find("unprofitable"), std::string::npos);
+  l.trip_count = 64;
+  EXPECT_TRUE(vm.analyze(l).vectorize);
+}
+
+TEST(VectorizationModel, NonPositiveTripThrows) {
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  EXPECT_THROW(vm.analyze(simple_loop(0)), std::invalid_argument);
+}
+
+TEST(VectorizationModel, RemarksBatchHelper) {
+  const auto m = riscv_vec();
+  const VectorizationModel vm(m);
+  const auto rs =
+      vecfd::compiler::remarks(vm, {simple_loop(256), simple_loop(2)});
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_NE(rs[0].find("vectorized"), std::string::npos);
+  EXPECT_NE(rs[1].find("unprofitable"), std::string::npos);
+}
+
+}  // namespace

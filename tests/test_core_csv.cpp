@@ -1,0 +1,85 @@
+// Tests for the CSV export used by vecfd-run and plotting scripts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/csv.h"
+
+namespace {
+
+using vecfd::core::Experiment;
+using vecfd::core::Measurement;
+
+struct Fixture {
+  Fixture() : mesh({.nx = 4, .ny = 2, .nz = 2}), state(mesh) {}
+  vecfd::fem::Mesh mesh;
+  vecfd::fem::State state;
+};
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+TEST(Csv, HeaderAndRowHaveSameArity) {
+  Fixture f;
+  const Experiment ex(f.mesh, f.state);
+  vecfd::miniapp::MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  const Measurement m = ex.run(vecfd::platforms::riscv_vec(), cfg);
+
+  std::ostringstream os;
+  vecfd::core::write_csv_header(os);
+  vecfd::core::write_measurement_row(os, m);
+  std::istringstream is(os.str());
+  std::string header;
+  std::string row;
+  std::getline(is, header);
+  std::getline(is, row);
+  const auto h = split(header);
+  const auto r = split(row);
+  EXPECT_EQ(h.size(), r.size());
+  // 15 scalar columns + 8 phases x 3
+  EXPECT_EQ(h.size(), 15u + 24u);
+}
+
+TEST(Csv, RowCarriesIdentityAndMetrics) {
+  Fixture f;
+  const Experiment ex(f.mesh, f.state);
+  vecfd::miniapp::MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.opt = vecfd::miniapp::OptLevel::kIVec2;
+  const Measurement m = ex.run(vecfd::platforms::sx_aurora(), cfg);
+
+  std::ostringstream os;
+  vecfd::core::write_measurement_row(os, m);
+  const auto r = split(os.str());
+  EXPECT_EQ(r[0], "sx-aurora");
+  EXPECT_EQ(r[1], "IVEC2");
+  EXPECT_EQ(r[2], "explicit");
+  EXPECT_EQ(r[3], "16");
+  EXPECT_GT(std::stod(r[4]), 0.0);                      // cycles
+  EXPECT_NEAR(std::stod(r[7]), m.overall.mv, 1e-9);     // mv
+  EXPECT_NEAR(std::stod(r[10]), m.overall.avl, 1e-9);   // avl
+}
+
+TEST(Csv, WriteCsvEmitsAllRows) {
+  Fixture f;
+  const Experiment ex(f.mesh, f.state);
+  vecfd::miniapp::MiniAppConfig cfg;
+  const int sizes[] = {8, 16};
+  const auto ms =
+      ex.sweep_vector_sizes(vecfd::platforms::riscv_vec(), cfg, sizes);
+  std::ostringstream os;
+  vecfd::core::write_csv(os, ms);
+  int lines = 0;
+  std::string l;
+  std::istringstream is(os.str());
+  while (std::getline(is, l)) ++lines;
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Cross-cutting invariants of the measured mini-app runs: the arithmetic is
+// the same no matter how it is issued, so FLOP counts must be identical
+// across optimization levels and machines; AVL must equal the plan's
+// granted vl; vector metrics must be consistent with the plan's decisions.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace {
+
+using namespace vecfd;
+using core::Experiment;
+using miniapp::MiniAppConfig;
+using miniapp::OptLevel;
+
+struct Fixture {
+  Fixture() : mesh({.nx = 4, .ny = 4, .nz = 2}), state(mesh) {}
+  fem::Mesh mesh;
+  fem::State state;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(RunInvariants, FlopsIdenticalAcrossOptLevels) {
+  // VEC2/IVEC2/VEC1 are data-movement transformations: the floating-point
+  // work is bit-for-bit the same, so the FLOP counter must not move.
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.opt = OptLevel::kVanilla;
+  const auto base = ex.run(platforms::riscv_vec(), cfg).total.flops;
+  EXPECT_GT(base, 0u);
+  for (auto opt : {OptLevel::kVec2, OptLevel::kIVec2, OptLevel::kVec1}) {
+    cfg.opt = opt;
+    EXPECT_EQ(ex.run(platforms::riscv_vec(), cfg).total.flops, base)
+        << to_string(opt);
+  }
+  // the scalar build performs the same arithmetic too
+  cfg.opt = OptLevel::kScalar;
+  EXPECT_EQ(ex.run(platforms::riscv_vec_scalar(), cfg).total.flops, base);
+}
+
+TEST(RunInvariants, FlopsIdenticalAcrossMachines) {
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.opt = OptLevel::kVec1;
+  const auto a = ex.run(platforms::riscv_vec(), cfg).total.flops;
+  const auto b = ex.run(platforms::sx_aurora(), cfg).total.flops;
+  const auto c = ex.run(platforms::mn4_avx512(), cfg).total.flops;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(RunInvariants, FlopsScaleLinearlyWithElements) {
+  const fem::Mesh m1({.nx = 2, .ny = 2, .nz = 2});
+  const fem::Mesh m2({.nx = 4, .ny = 2, .nz = 2});
+  const fem::State s1(m1);
+  const fem::State s2(m2);
+  MiniAppConfig cfg;
+  cfg.vector_size = 8;
+  cfg.opt = OptLevel::kVanilla;
+  const auto f1 =
+      Experiment(m1, s1).run(platforms::riscv_vec(), cfg).total.flops;
+  const auto f2 =
+      Experiment(m2, s2).run(platforms::riscv_vec(), cfg).total.flops;
+  EXPECT_EQ(f2, 2u * f1);
+}
+
+class AvlPerPhase : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvlPerPhase, EqualsGrantedVectorLength) {
+  // every vectorized compute phase issues vl = min(VECTOR_SIZE, vlmax)
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  const int vs = GetParam();
+  MiniAppConfig cfg;
+  cfg.vector_size = vs;
+  cfg.opt = OptLevel::kVec1;
+  const auto m = ex.run(platforms::riscv_vec(), cfg);
+  const double expect = std::min(vs, 256);
+  for (int p = 3; p <= 7; ++p) {
+    EXPECT_NEAR(m.phase_metrics[p].avl, expect, 0.5) << "phase " << p;
+  }
+  // IVEC2'd phase 2 as well
+  EXPECT_NEAR(m.phase_metrics[2].avl, expect, 0.5);
+}
+
+// from 32 upward every compute subkernel vectorizes (Table 4 saturation)
+INSTANTIATE_TEST_SUITE_P(Sweep, AvlPerPhase, ::testing::Values(32, 48, 64));
+
+TEST(RunInvariants, MvConsistentWithPlanDecisions) {
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 32;  // all compute subkernels profitable
+  cfg.opt = OptLevel::kVanilla;
+  const auto m = ex.run(platforms::riscv_vec(), cfg);
+  // fully vectorized phases have a dominantly vector instruction stream
+  for (int p : {3, 4, 5, 6, 7}) {
+    EXPECT_GT(m.phase_metrics[p].mv, 0.7) << "phase " << p;
+  }
+  // scalar phases have exactly none
+  for (int p : {1, 2, 8}) {
+    EXPECT_DOUBLE_EQ(m.phase_metrics[p].mv, 0.0) << "phase " << p;
+  }
+}
+
+TEST(RunInvariants, VectorActivityHighOnVectorPhases) {
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 32;
+  cfg.opt = OptLevel::kVec1;
+  const auto m = ex.run(platforms::riscv_vec(), cfg);
+  // Av >= Mv on vector phases: vector instructions are multi-cycle
+  for (int p : {3, 4, 5, 6, 7}) {
+    EXPECT_GT(m.phase_metrics[p].av, m.phase_metrics[p].mv) << p;
+  }
+}
+
+TEST(RunInvariants, CyclesDecreaseWhenFrequencyIrrelevant) {
+  // cycles are frequency-independent in the model; seconds are not
+  Fixture& f = fixture();
+  MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.opt = OptLevel::kVec1;
+  sim::MachineConfig slow = platforms::riscv_vec();
+  sim::MachineConfig fast = platforms::riscv_vec();
+  fast.frequency_mhz = 1000.0;
+  miniapp::MiniApp app(f.mesh, f.state, cfg);
+  sim::Vpu v_slow(slow);
+  sim::Vpu v_fast(fast);
+  const auto r_slow = app.run(v_slow);
+  const double t_slow = v_slow.seconds();
+  const auto r_fast = app.run(v_fast);
+  const double t_fast = v_fast.seconds();
+  // cycles match up to allocation-address cache noise (< 0.5%)
+  EXPECT_NEAR(r_slow.cycles, r_fast.cycles, 5e-3 * r_slow.cycles);
+  EXPECT_NEAR(t_slow / t_fast, 20.0, 0.2);
+}
+
+TEST(RunInvariants, SemiImplicitCostsMoreThanExplicit) {
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.opt = OptLevel::kVec1;
+  cfg.scheme = fem::Scheme::kExplicit;
+  const double exp_cycles = ex.run(platforms::riscv_vec(), cfg).total_cycles;
+  cfg.scheme = fem::Scheme::kSemiImplicit;
+  const auto semi = ex.run(platforms::riscv_vec(), cfg);
+  EXPECT_GT(semi.total_cycles, exp_cycles);
+  // and the extra work is concentrated in phases 5 (mass), 7 (K) and
+  // 8 (CSR scatter)
+  EXPECT_GT(semi.phase_share(8), 0.05);
+}
+
+}  // namespace

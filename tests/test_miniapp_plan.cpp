@@ -1,0 +1,136 @@
+// Tests for the phase plan: the modelled compiler must reproduce the
+// vectorization pattern the paper reports (Table 4, §4 narrative) at every
+// optimization level and VECTOR_SIZE.
+#include <gtest/gtest.h>
+
+#include "miniapp/plan.h"
+#include "platforms/platforms.h"
+
+namespace {
+
+using vecfd::miniapp::build_plan;
+using vecfd::miniapp::MiniAppConfig;
+using vecfd::miniapp::OptLevel;
+using vecfd::miniapp::Phase2Shape;
+using vecfd::miniapp::PhasePlan;
+using vecfd::platforms::riscv_vec;
+
+PhasePlan plan_for(OptLevel opt, int vs) {
+  MiniAppConfig cfg;
+  cfg.opt = opt;
+  cfg.vector_size = vs;
+  return build_plan(riscv_vec(), cfg);
+}
+
+TEST(Plan, ScalarBuildVectorizesNothing) {
+  const PhasePlan p = plan_for(OptLevel::kScalar, 256);
+  for (const auto& [id, d] : p.all()) {
+    EXPECT_FALSE(d.vectorize) << id;
+  }
+}
+
+TEST(Plan, VanillaPhases128AreScalar) {
+  // Table 4: phases 1, 2 and 8 show Mv ≈ 0 at every VECTOR_SIZE.
+  for (int vs : {16, 64, 128, 240, 256, 512}) {
+    const PhasePlan p = plan_for(OptLevel::kVanilla, vs);
+    EXPECT_FALSE(p.p1_work_b.vectorize) << vs;
+    EXPECT_FALSE(p.p2.vectorize) << vs;
+    EXPECT_FALSE(p.p8.vectorize) << vs;
+    EXPECT_EQ(p.p2_shape, Phase2Shape::kScalarOuterIvect);
+  }
+}
+
+TEST(Plan, VanillaVs16OnlyLeanLoopsVectorize) {
+  // Table 4 at VECTOR_SIZE = 16: phase 7 vectorizes, phases 3 and 6 "very
+  // little" (their lean subkernels), phases 4 and 5 do not.
+  const PhasePlan p = plan_for(OptLevel::kVanilla, 16);
+  EXPECT_TRUE(p.p7_blk.vectorize);
+  EXPECT_TRUE(p.p7_apply.vectorize);
+  EXPECT_TRUE(p.p3_inv.vectorize);   // lean det/inverse subkernel
+  EXPECT_FALSE(p.p3_jac.vectorize);
+  EXPECT_FALSE(p.p3_car.vectorize);
+  EXPECT_TRUE(p.p6_dw.vectorize);    // lean advective-test subkernel
+  EXPECT_FALSE(p.p6_cab.vectorize);
+  EXPECT_FALSE(p.p6_apply.vectorize);
+  EXPECT_FALSE(p.p4_vel.vectorize);
+  EXPECT_FALSE(p.p4_gve.vectorize);
+  EXPECT_FALSE(p.p5_tau.vectorize);
+}
+
+TEST(Plan, VanillaVs64SaturatesTheMix) {
+  // "Values of VECTOR_SIZE > 64 do not influence the ratio of vector
+  // instructions" — by 64 every compute subkernel vectorizes.
+  for (int vs : {64, 128, 240, 256, 512}) {
+    const PhasePlan p = plan_for(OptLevel::kVanilla, vs);
+    for (const auto& [id, d] : p.all()) {
+      if (id.rfind("phase1", 0) == 0 || id.rfind("phase2", 0) == 0 ||
+          id.rfind("phase8", 0) == 0) {
+        EXPECT_FALSE(d.vectorize) << id << " vs=" << vs;
+      } else {
+        EXPECT_TRUE(d.vectorize) << id << " vs=" << vs;
+      }
+    }
+  }
+}
+
+TEST(Plan, Vec2VectorizesDofLoopWithVl4) {
+  const PhasePlan p = plan_for(OptLevel::kVec2, 256);
+  EXPECT_EQ(p.p2_shape, Phase2Shape::kDofInner);
+  ASSERT_TRUE(p.p2.vectorize);
+  EXPECT_EQ(p.p2.vl, 4);  // the paper's measured AVL ≈ 4 diagnosis
+}
+
+TEST(Plan, IVec2VectorizesIvectLoopWithLongVl) {
+  for (int vs : {16, 64, 128, 240, 256, 512}) {
+    const PhasePlan p = plan_for(OptLevel::kIVec2, vs);
+    EXPECT_EQ(p.p2_shape, Phase2Shape::kIvectInner);
+    ASSERT_TRUE(p.p2.vectorize) << vs;
+    EXPECT_EQ(p.p2.vl, std::min(vs, 256)) << vs;
+  }
+}
+
+TEST(Plan, Vec1SplitsPhase1AndVectorizesWorkB) {
+  const PhasePlan p0 = plan_for(OptLevel::kIVec2, 240);
+  EXPECT_FALSE(p0.p1_split);
+  EXPECT_FALSE(p0.p1_work_b.vectorize);
+  const PhasePlan p1 = plan_for(OptLevel::kVec1, 240);
+  EXPECT_TRUE(p1.p1_split);
+  EXPECT_TRUE(p1.p1_work_b.vectorize);
+  // VEC1 keeps the IVEC2 phase-2 shape (cumulative optimizations)
+  EXPECT_EQ(p1.p2_shape, Phase2Shape::kIvectInner);
+  EXPECT_TRUE(p1.p2.vectorize);
+}
+
+TEST(Plan, Phase8NeverVectorizes) {
+  for (auto opt : {OptLevel::kVanilla, OptLevel::kVec2, OptLevel::kIVec2,
+                   OptLevel::kVec1}) {
+    const PhasePlan p = plan_for(opt, 512);
+    EXPECT_FALSE(p.p8.vectorize);
+    EXPECT_NE(p.p8.remark.find("aliasing"), std::string::npos);
+  }
+}
+
+TEST(Plan, RemarkExplainsVanillaPhase2) {
+  const PhasePlan p = plan_for(OptLevel::kVanilla, 256);
+  EXPECT_NE(p.p2.remark.find("compile-time"), std::string::npos);
+}
+
+TEST(Plan, LoopInfosCoverAllPhases) {
+  MiniAppConfig cfg;
+  cfg.opt = OptLevel::kVanilla;
+  cfg.vector_size = 240;
+  const auto loops = vecfd::miniapp::loop_infos(cfg);
+  EXPECT_GE(loops.size(), 16u);
+  bool saw_phase8 = false;
+  for (const auto& l : loops) {
+    if (l.id.rfind("phase8", 0) == 0) saw_phase8 = true;
+  }
+  EXPECT_TRUE(saw_phase8);
+}
+
+TEST(Plan, AllListsEveryDecision) {
+  const PhasePlan p = plan_for(OptLevel::kVec1, 240);
+  EXPECT_EQ(p.all().size(), 16u);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Tests pinning the platform models to Table 2 of the paper.
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.h"
+
+namespace {
+
+using namespace vecfd::platforms;
+
+TEST(Platforms, RiscvVecTable2) {
+  const auto m = riscv_vec();
+  EXPECT_EQ(m.name, "riscv-vec");
+  EXPECT_DOUBLE_EQ(m.frequency_mhz, 50.0);       // Table 2
+  EXPECT_EQ(m.vlmax, 256);                       // 16-kbit registers
+  EXPECT_EQ(m.lanes, 8);                         // 8 FPU lanes
+  EXPECT_DOUBLE_EQ(m.bytes_per_cycle, 64.0);     // Table 2
+  EXPECT_EQ(m.fsm_group, 5);                     // footnote 4
+  EXPECT_EQ(m.memory.l2.size_bytes, 1024u * 1024u);  // §2.1.3: 1 MB L2
+  EXPECT_TRUE(m.vector_enabled);
+}
+
+TEST(Platforms, SxAuroraTable2) {
+  const auto m = sx_aurora();
+  EXPECT_DOUBLE_EQ(m.frequency_mhz, 1600.0);
+  EXPECT_EQ(m.vlmax, 256);
+  EXPECT_EQ(m.lanes, 32);  // FMA graduates in 8 cycles = 256/32
+  EXPECT_DOUBLE_EQ(m.bytes_per_cycle, 120.0);
+  EXPECT_EQ(m.fsm_group, 1);  // no Vitruvius FSM quirk
+}
+
+TEST(Platforms, Mn4Avx512Table2) {
+  const auto m = mn4_avx512();
+  EXPECT_DOUBLE_EQ(m.frequency_mhz, 2100.0);
+  EXPECT_EQ(m.vlmax, 8);  // AVX-512: 8 doubles
+  EXPECT_EQ(m.fsm_group, 1);
+}
+
+TEST(Platforms, ScalarVariantDisablesVectorUnit) {
+  const auto s = scalar_variant(riscv_vec());
+  EXPECT_FALSE(s.vector_enabled);
+  EXPECT_EQ(s.name, "riscv-vec-scalar");
+  EXPECT_FALSE(riscv_vec_scalar().vector_enabled);
+}
+
+TEST(Platforms, PeakFlopThroughputOrdering) {
+  // Table 2 throughput: SX-Aurora (192 F/cyc) > MN4 (32) > RISC-V VEC (16)
+  // Our model: 2 FLOP per lane per cycle (FMA).
+  const double riscv = 2.0 * riscv_vec().lanes;
+  const double aurora = 2.0 * 8 * sx_aurora().lanes / 8;  // 64 F/cyc model
+  const double mn4 = 2.0 * mn4_avx512().lanes;
+  EXPECT_GT(aurora, mn4);
+  EXPECT_GT(mn4, riscv);
+}
+
+TEST(Platforms, ClampVl) {
+  EXPECT_EQ(riscv_vec().clamp_vl(512), 256);
+  EXPECT_EQ(riscv_vec().clamp_vl(40), 40);
+  EXPECT_EQ(mn4_avx512().clamp_vl(240), 8);
+}
+
+}  // namespace

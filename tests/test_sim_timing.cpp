@@ -1,0 +1,114 @@
+// Tests for the timing model — including the paper's calibration anchors:
+// FMA ≈ 32 cycles at vl = 256 on RISC-V VEC and the vl-multiple-of-40 FSM
+// sweet spot behind VECTOR_SIZE = 240.
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.h"
+#include "sim/timing_model.h"
+
+namespace {
+
+using vecfd::platforms::riscv_vec;
+using vecfd::platforms::sx_aurora;
+using vecfd::sim::ArithOp;
+using vecfd::sim::MachineConfig;
+using vecfd::sim::TimingModel;
+
+TEST(TimingModel, FsmFactorUnityOnMultiplesOf40) {
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
+  for (int vl : {40, 80, 120, 160, 200, 240}) {
+    EXPECT_DOUBLE_EQ(t.fsm_factor(vl), 1.0) << "vl=" << vl;
+  }
+  for (int vl : {16, 64, 128, 256, 30, 41}) {
+    EXPECT_DOUBLE_EQ(t.fsm_factor(vl), m.fsm_penalty) << "vl=" << vl;
+  }
+}
+
+TEST(TimingModel, FsmQuirkDisabledWhenGroupIsOne) {
+  MachineConfig m = riscv_vec();
+  m.fsm_group = 1;
+  const TimingModel t(m);
+  EXPECT_DOUBLE_EQ(t.fsm_factor(256), 1.0);
+  EXPECT_DOUBLE_EQ(t.fsm_factor(17), 1.0);
+}
+
+TEST(TimingModel, FmaAnchor32CyclesAtVl256) {
+  // §4: "one vector FMA takes around 32 cycles with a vector length of 256"
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
+  const double c256 = t.varith_cycles(256);
+  EXPECT_GT(c256, 30.0);
+  EXPECT_LT(c256, 42.0);
+  // and fewer cycles at shorter lengths
+  EXPECT_LT(t.varith_cycles(128), c256);
+  EXPECT_LT(t.varith_cycles(16), t.varith_cycles(128));
+}
+
+TEST(TimingModel, Vl240BeatsVl256PerElement) {
+  // The §5 explanation of the fastest configuration: higher element
+  // throughput at vl = 240 than at vl = 256.
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
+  const double per240 = t.varith_cycles(240) / 240.0;
+  const double per256 = t.varith_cycles(256) / 256.0;
+  EXPECT_LT(per240, per256);
+}
+
+TEST(TimingModel, SxAuroraFmaGraduatesIn8Cycles) {
+  // §2.4: a vector FMA performs 512 FLOP and needs 8 cycles to graduate.
+  const MachineConfig m = sx_aurora();
+  const TimingModel t(m);
+  const double c = t.varith_cycles(256) - m.arith_startup;
+  EXPECT_DOUBLE_EQ(c, 8.0);
+}
+
+TEST(TimingModel, DivCostsMoreThanMul) {
+  const TimingModel t(riscv_vec());
+  EXPECT_GT(t.varith_cycles(256, ArithOp::kDivSqrt),
+            2.0 * t.varith_cycles(256, ArithOp::kSimple));
+}
+
+TEST(TimingModel, UnitStrideMemoryFollowsBandwidth) {
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
+  // 256 elements · 8 B / 64 B-per-cycle = 32 cycles + startup
+  EXPECT_DOUBLE_EQ(t.vmem_unit_cycles(256), m.mem_startup + 32.0);
+}
+
+TEST(TimingModel, IndexedSlowerThanStridedSlowerThanUnit) {
+  const TimingModel t(riscv_vec());
+  EXPECT_GT(t.vmem_indexed_cycles(256), t.vmem_strided_cycles(256));
+  EXPECT_GT(t.vmem_strided_cycles(256), t.vmem_unit_cycles(256));
+}
+
+TEST(TimingModel, LatencyMonotoneInVl) {
+  const TimingModel t(riscv_vec());
+  double prev_arith = 0.0;
+  double prev_mem = 0.0;
+  for (int vl = 8; vl <= 256; vl += 8) {
+    const double a = t.varith_cycles(vl);
+    const double mcy = t.vmem_unit_cycles(vl);
+    EXPECT_GE(a, prev_arith - 3.0) << "vl=" << vl;  // fsm dips allowed
+    EXPECT_GT(mcy, prev_mem);
+    prev_arith = a;
+    prev_mem = mcy;
+  }
+}
+
+// Property sweep: per-element cost never increases when vl doubles
+// (longer vectors amortize startup — the core long-vector premise).
+class PerElementCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerElementCost, AmortizesStartup) {
+  const TimingModel t(riscv_vec());
+  const int vl = GetParam();
+  const double per_small = t.varith_cycles(vl) / vl;
+  const double per_large = t.varith_cycles(2 * vl) / (2 * vl);
+  EXPECT_LE(per_large, per_small * 1.10);  // fsm penalty can add ≤ 7%
+}
+
+INSTANTIATE_TEST_SUITE_P(VlSweep, PerElementCost,
+                         ::testing::Values(8, 16, 32, 40, 64, 80, 120, 128));
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Tests for the Vehave-style trace and Paraver export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "platforms/platforms.h"
+#include "sim/vpu.h"
+#include "trace/paraver.h"
+#include "trace/vehave_trace.h"
+
+namespace {
+
+using vecfd::platforms::riscv_vec;
+using vecfd::sim::InstrKind;
+using vecfd::sim::Vpu;
+using vecfd::trace::VehaveTrace;
+
+TEST(VehaveTrace, RecordsVectorInstructionsOnly) {
+  Vpu vpu{riscv_vec()};
+  VehaveTrace tr;
+  vpu.set_observer(&tr);
+  std::vector<double> a(64, 1.0);
+  vpu.set_vl(64);
+  const auto x = vpu.vload(a.data());
+  (void)vpu.vadd(x, x);
+  vpu.sarith(10);  // scalar: not recorded in vectors-only mode
+  double s = 0.0;
+  vpu.sstore(&s, 1.0);
+  ASSERT_EQ(tr.records().size(), 2u);
+  EXPECT_EQ(tr.records()[0].kind, InstrKind::kVMemUnit);
+  EXPECT_EQ(tr.records()[1].kind, InstrKind::kVArith);
+  EXPECT_EQ(tr.records()[0].vl, 64);
+}
+
+TEST(VehaveTrace, AvlMeasurement) {
+  Vpu vpu{riscv_vec()};
+  VehaveTrace tr;
+  vpu.set_observer(&tr);
+  std::vector<double> a(256, 1.0);
+  vpu.set_vl(4);
+  (void)vpu.vload(a.data());
+  vpu.set_vl(240);
+  (void)vpu.vload(a.data());
+  EXPECT_DOUBLE_EQ(tr.avl(), (4.0 + 240.0) / 2.0);
+}
+
+TEST(VehaveTrace, PerPhaseAvl) {
+  Vpu vpu{riscv_vec()};
+  VehaveTrace tr;
+  vpu.set_observer(&tr);
+  std::vector<double> a(256, 1.0);
+  vpu.profiler().begin(2);
+  vpu.set_vl(4);
+  (void)vpu.vload(a.data());
+  vpu.profiler().end(2);
+  vpu.profiler().begin(6);
+  vpu.set_vl(240);
+  (void)vpu.vload(a.data());
+  vpu.profiler().end(6);
+  EXPECT_DOUBLE_EQ(tr.avl(2), 4.0);    // the VEC2 diagnosis
+  EXPECT_DOUBLE_EQ(tr.avl(6), 240.0);
+  EXPECT_EQ(tr.count(InstrKind::kVMemUnit, 2), 1u);
+  EXPECT_EQ(tr.count(InstrKind::kVMemUnit), 2u);
+}
+
+TEST(VehaveTrace, CapacityBoundDropsButCounts) {
+  VehaveTrace tr(2);
+  tr.on_instr(1, InstrKind::kVArith, 8, 10.0);
+  tr.on_instr(1, InstrKind::kVArith, 8, 10.0);
+  tr.on_instr(1, InstrKind::kVArith, 8, 10.0);
+  EXPECT_EQ(tr.records().size(), 2u);
+  EXPECT_EQ(tr.dropped(), 1u);
+  tr.clear();
+  EXPECT_TRUE(tr.records().empty());
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(VehaveTrace, EmptyTraceAvlIsZero) {
+  VehaveTrace tr;
+  EXPECT_DOUBLE_EQ(tr.avl(), 0.0);
+  EXPECT_DOUBLE_EQ(tr.avl(5), 0.0);
+}
+
+TEST(Paraver, PrvStructure) {
+  VehaveTrace tr;
+  tr.on_instr(2, InstrKind::kVMemIndexed, 240, 130.0);
+  tr.on_instr(6, InstrKind::kVArith, 240, 34.0);
+  std::ostringstream os;
+  const std::size_t n = vecfd::trace::write_paraver_prv(os, tr);
+  EXPECT_EQ(n, 2u);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("#Paraver", 0), 0u);  // header first
+  EXPECT_NE(s.find("42000001"), std::string::npos);  // kind event type
+  EXPECT_NE(s.find("42000002:240"), std::string::npos);  // vl value
+  EXPECT_NE(s.find("42000003:2"), std::string::npos);    // phase value
+}
+
+TEST(Paraver, PcfNamesAllKinds) {
+  std::ostringstream os;
+  vecfd::trace::write_paraver_pcf(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("vmem-indexed"), std::string::npos);
+  EXPECT_NE(s.find("vconfig"), std::string::npos);
+  EXPECT_NE(s.find("scalar-alu"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// vecfd-run — command-line driver for the co-design toolkit.
+//
+// Runs the mini-app on any modelled machine / optimization level /
+// VECTOR_SIZE (or the full paper sweep), prints the §2.2 metrics and phase
+// breakdown, and optionally emits CSV rows, compiler remarks, Advisor
+// findings, or a Paraver trace pair (.prv/.pcf).
+//
+//   vecfd-run --sweep --csv sweep.csv
+//   vecfd-run --machine sx-aurora --opt ivec2 --vs 240 --advise
+//   vecfd-run --opt vec2 --vs 240 --prv trace --remarks
+//
+// Exit codes: 0 ok, 2 bad usage.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/csv.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "compiler/vectorization_model.h"
+#include "miniapp/driver.h"
+#include "trace/paraver.h"
+#include "trace/vehave_trace.h"
+
+namespace {
+
+using namespace vecfd;
+
+struct Options {
+  std::string machine = "riscv-vec";
+  std::string opt = "vec1";
+  std::string scheme = "explicit";
+  int vs = 240;
+  bool sweep = false;
+  bool advise = false;
+  bool remarks = false;
+  int nx = 16, ny = 20, nz = 24;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> prv_base;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: vecfd-run [options]\n"
+        "  --machine M   riscv-vec | riscv-vec-scalar | sx-aurora |\n"
+        "                mn4-avx512            (default riscv-vec)\n"
+        "  --opt O       scalar | vanilla | vec2 | ivec2 | vec1\n"
+        "                                      (default vec1)\n"
+        "  --scheme S    explicit | semi       (default explicit)\n"
+        "  --vs N        VECTOR_SIZE           (default 240)\n"
+        "  --sweep       run the paper's sweep {16,64,128,240,256,512}\n"
+        "  --mesh X,Y,Z  elements per axis     (default 16,20,24)\n"
+        "  --csv FILE    append measurement rows as CSV\n"
+        "  --prv BASE    write BASE.prv/BASE.pcf Paraver trace (single run)\n"
+        "  --advise      print co-design Advisor findings\n"
+        "  --remarks     print the compiler model's vectorization remarks\n"
+        "  --help\n";
+}
+
+std::optional<sim::MachineConfig> parse_machine(const std::string& name) {
+  if (name == "riscv-vec") return platforms::riscv_vec();
+  if (name == "riscv-vec-scalar") return platforms::riscv_vec_scalar();
+  if (name == "sx-aurora") return platforms::sx_aurora();
+  if (name == "mn4-avx512") return platforms::mn4_avx512();
+  return std::nullopt;
+}
+
+std::optional<miniapp::OptLevel> parse_opt(const std::string& o) {
+  if (o == "scalar") return miniapp::OptLevel::kScalar;
+  if (o == "vanilla") return miniapp::OptLevel::kVanilla;
+  if (o == "vec2") return miniapp::OptLevel::kVec2;
+  if (o == "ivec2") return miniapp::OptLevel::kIVec2;
+  if (o == "vec1") return miniapp::OptLevel::kVec1;
+  return std::nullopt;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (a == "--machine") {
+      const char* v = next();
+      if (!v) return false;
+      opt.machine = v;
+    } else if (a == "--opt") {
+      const char* v = next();
+      if (!v) return false;
+      opt.opt = v;
+    } else if (a == "--scheme") {
+      const char* v = next();
+      if (!v) return false;
+      opt.scheme = v;
+    } else if (a == "--vs") {
+      const char* v = next();
+      if (!v) return false;
+      opt.vs = std::atoi(v);
+    } else if (a == "--sweep") {
+      opt.sweep = true;
+    } else if (a == "--mesh") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%d,%d,%d", &opt.nx, &opt.ny, &opt.nz) != 3) {
+        return false;
+      }
+    } else if (a == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      opt.csv_path = v;
+    } else if (a == "--prv") {
+      const char* v = next();
+      if (!v) return false;
+      opt.prv_base = v;
+    } else if (a == "--advise") {
+      opt.advise = true;
+    } else if (a == "--remarks") {
+      opt.remarks = true;
+    } else {
+      std::cerr << "unknown option: " << a << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_measurement(const core::Measurement& m) {
+  std::cout << m.machine.name << " / " << to_string(m.app.opt)
+            << " / VECTOR_SIZE=" << m.app.vector_size << " / "
+            << to_string(m.app.scheme) << '\n';
+  std::cout << "  cycles=" << core::fmt(m.total_cycles, 0)
+            << "  Mv=" << core::fmt_pct(m.overall.mv)
+            << "  Av=" << core::fmt_pct(m.overall.av)
+            << "  vCPI=" << core::fmt(m.overall.vcpi, 1)
+            << "  AVL=" << core::fmt(m.overall.avl, 1)
+            << "  Ev=" << core::fmt_pct(m.overall.ev) << '\n';
+  core::Table t({"phase", "cycles", "share", "Mv", "AVL",
+                 "L1 DCM/ki"});
+  for (int p = 1; p <= 8; ++p) {
+    t.add_row({std::to_string(p), core::fmt(m.phase_cycles(p), 0),
+               core::fmt_pct(m.phase_share(p)),
+               core::fmt_pct(m.phase_metrics[p].mv),
+               core::fmt(m.phase_metrics[p].avl, 1),
+               core::fmt(metrics::l1_dcm_per_kilo_instr(m.phase[p]), 1)});
+  }
+  std::cout << t.to_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage(std::cerr);
+    return 2;
+  }
+  const auto machine = parse_machine(opts.machine);
+  const auto level = parse_opt(opts.opt);
+  if (!machine || !level || opts.vs <= 0 || opts.nx <= 0 || opts.ny <= 0 ||
+      opts.nz <= 0) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  const fem::Mesh mesh({.nx = opts.nx, .ny = opts.ny, .nz = opts.nz});
+  const fem::State state(mesh);
+  const core::Experiment ex(mesh, state);
+
+  miniapp::MiniAppConfig cfg;
+  cfg.opt = *level;
+  cfg.scheme = opts.scheme == "semi" ? fem::Scheme::kSemiImplicit
+                                     : fem::Scheme::kExplicit;
+
+  std::vector<core::Measurement> ms;
+  if (opts.sweep) {
+    ms = ex.sweep_vector_sizes(*machine, cfg,
+                               miniapp::kStudiedVectorSizes);
+  } else {
+    cfg.vector_size = opts.vs;
+    ms.push_back(ex.run(*machine, cfg));
+  }
+
+  for (const auto& m : ms) {
+    print_measurement(m);
+    if (opts.advise) {
+      std::cout << "advisor findings:\n";
+      for (const auto& f : core::advise(m)) {
+        std::cout << "  [" << core::to_string(f.kind) << "] " << f.message
+                  << '\n';
+      }
+    }
+    std::cout << '\n';
+  }
+
+  if (opts.remarks) {
+    cfg.vector_size = ms.front().app.vector_size;
+    const compiler::VectorizationModel model(
+        *machine, cfg.opt != miniapp::OptLevel::kScalar);
+    std::cout << "vectorization remarks:\n";
+    for (const auto& r :
+         compiler::remarks(model, miniapp::loop_infos(cfg))) {
+      std::cout << "  " << r << '\n';
+    }
+    std::cout << '\n';
+  }
+
+  if (opts.csv_path) {
+    std::ofstream os(*opts.csv_path);
+    if (!os) {
+      std::cerr << "cannot open " << *opts.csv_path << '\n';
+      return 2;
+    }
+    core::write_csv(os, ms);
+    std::cout << "wrote " << ms.size() << " rows to " << *opts.csv_path
+              << '\n';
+  }
+
+  if (opts.prv_base) {
+    if (opts.sweep) {
+      std::cerr << "--prv requires a single run (omit --sweep)\n";
+      return 2;
+    }
+    // re-run with tracing enabled
+    miniapp::MiniApp app(mesh, state, cfg);
+    sim::Vpu vpu(*machine);
+    trace::VehaveTrace tr(1u << 22);
+    vpu.set_observer(&tr);
+    (void)app.run(vpu);
+    std::ofstream prv(*opts.prv_base + ".prv");
+    std::ofstream pcf(*opts.prv_base + ".pcf");
+    if (!prv || !pcf) {
+      std::cerr << "cannot open " << *opts.prv_base << ".prv/.pcf\n";
+      return 2;
+    }
+    const std::size_t n = trace::write_paraver_prv(prv, tr);
+    trace::write_paraver_pcf(pcf);
+    std::cout << "wrote " << n << " trace records to " << *opts.prv_base
+              << ".prv (" << tr.dropped() << " dropped)\n";
+  }
+  return 0;
+}
