@@ -39,6 +39,32 @@ struct Workload {
 /// The paper's studied VECTOR_SIZE values (§2.3).
 inline constexpr int kVectorSizes[] = {16, 64, 128, 240, 256, 512};
 
+/// Worker threads for sweep fan-out: VECFD_BENCH_JOBS in the environment
+/// (unset/0 = all cores, 1 = serial).  Results are byte-identical at any
+/// job count; the knob exists for timing comparisons.
+inline int sweep_jobs() {
+  const char* e = std::getenv("VECFD_BENCH_JOBS");
+  return e != nullptr ? std::atoi(e) : 0;
+}
+
+/// The paper's full evaluation grid — kVectorSizes × {vanilla, VEC2, IVEC2,
+/// VEC1} on one machine — fanned out over all cores.  Size-major: the
+/// measurement for (kVectorSizes[si], core::kSweepOptLevels[oi]) is at
+/// index si * std::size(core::kSweepOptLevels) + oi.
+inline std::vector<core::Measurement> run_paper_grid(
+    const core::Experiment& ex, const sim::MachineConfig& machine,
+    miniapp::MiniAppConfig cfg) {
+  return ex.sweep_grid(machine, cfg, kVectorSizes, core::kSweepOptLevels,
+                       sweep_jobs());
+}
+
+/// Parallel kVectorSizes sweep at a fixed optimization level.
+inline std::vector<core::Measurement> run_size_sweep(
+    const core::Experiment& ex, const sim::MachineConfig& machine,
+    miniapp::MiniAppConfig cfg) {
+  return ex.sweep_vector_sizes(machine, cfg, kVectorSizes, sweep_jobs());
+}
+
 inline void print_workload(const Workload& w) {
   std::cout << "workload: " << w.mesh.num_elements() << " hex elements, "
             << w.mesh.num_nodes() << " nodes"

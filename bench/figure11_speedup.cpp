@@ -21,22 +21,21 @@ int main() {
   std::cout << "scalar baseline (vs=16): " << core::fmt(scalar_cycles, 0)
             << " cycles\n\n";
 
-  const miniapp::OptLevel opts[] = {
-      miniapp::OptLevel::kVanilla, miniapp::OptLevel::kVec2,
-      miniapp::OptLevel::kIVec2, miniapp::OptLevel::kVec1};
+  const auto grid = bench::run_paper_grid(ex, platforms::riscv_vec(), cfg);
+  constexpr std::size_t nopts = std::size(core::kSweepOptLevels);
 
   core::Table t({"VECTOR_SIZE", "original", "VEC2", "IVEC2", "VEC1"});
   double best = 0.0;
   int best_vs = 0;
-  for (int vs : bench::kVectorSizes) {
+  for (std::size_t si = 0; si < std::size(bench::kVectorSizes); ++si) {
+    const int vs = bench::kVectorSizes[si];
     std::vector<std::string> row{std::to_string(vs)};
-    for (auto opt : opts) {
-      cfg.vector_size = vs;
-      cfg.opt = opt;
-      const auto m = ex.run(platforms::riscv_vec(), cfg);
+    for (std::size_t oi = 0; oi < nopts; ++oi) {
+      const auto& m = grid[si * nopts + oi];
       const double speedup = scalar_cycles / m.total_cycles;
       row.push_back(core::fmt_speedup(speedup));
-      if (opt == miniapp::OptLevel::kVec1 && speedup > best) {
+      if (core::kSweepOptLevels[oi] == miniapp::OptLevel::kVec1 &&
+          speedup > best) {
         best = speedup;
         best_vs = vs;
       }

@@ -19,16 +19,28 @@ int main() {
                                          platforms::sx_aurora(),
                                          platforms::mn4_avx512()};
 
-  core::Table t({"VECTOR_SIZE", "riscv-vec", "sx-aurora", "mn4-avx512"});
+  // One flat point list — sizes × machines × {vanilla, VEC1} — fanned out
+  // over all cores in a single run_points call.
+  std::vector<core::SweepPoint> points;
   for (int vs : bench::kVectorSizes) {
-    std::vector<std::string> row{std::to_string(vs)};
     for (const auto& machine : machines) {
       miniapp::MiniAppConfig cfg;
       cfg.vector_size = vs;
       cfg.opt = miniapp::OptLevel::kVanilla;
-      const double vanilla = ex.run(machine, cfg).total_cycles;
+      points.push_back({machine, cfg});
       cfg.opt = miniapp::OptLevel::kVec1;
-      const double opt = ex.run(machine, cfg).total_cycles;
+      points.push_back({machine, cfg});
+    }
+  }
+  const auto ms = ex.run_points(points, bench::sweep_jobs());
+
+  core::Table t({"VECTOR_SIZE", "riscv-vec", "sx-aurora", "mn4-avx512"});
+  std::size_t i = 0;
+  for (int vs : bench::kVectorSizes) {
+    std::vector<std::string> row{std::to_string(vs)};
+    for (std::size_t m = 0; m < std::size(machines); ++m) {
+      const double vanilla = ms[i++].total_cycles;
+      const double opt = ms[i++].total_cycles;
       row.push_back(core::fmt_speedup(vanilla / opt));
     }
     t.add_row(row);

@@ -17,18 +17,16 @@ int main() {
   miniapp::MiniAppConfig cfg;
   cfg.opt = miniapp::OptLevel::kVec1;
 
-  // baseline: vs = 16
-  cfg.vector_size = 16;
-  const auto base = ex.run(platforms::riscv_vec(), cfg);
+  // One parallel sweep covers the baseline too: kVectorSizes[0] == 16.
+  const auto ms = bench::run_size_sweep(ex, platforms::riscv_vec(), cfg);
+  const auto& base = ms.front();
 
   std::vector<std::string> headers{"VECTOR_SIZE"};
   for (int p = 1; p <= 8; ++p) headers.push_back("ph" + std::to_string(p));
   core::Table t(std::move(headers));
 
-  for (int vs : bench::kVectorSizes) {
-    cfg.vector_size = vs;
-    const auto m = ex.run(platforms::riscv_vec(), cfg);
-    std::vector<std::string> row{std::to_string(vs)};
+  for (const auto& m : ms) {
+    std::vector<std::string> row{std::to_string(m.app.vector_size)};
     for (int p = 1; p <= 8; ++p) {
       // normalize by per-element cost so chunk-count differences cancel
       row.push_back(

@@ -91,7 +91,8 @@ int main() {
         std::cerr << "solver failed to converge at step " << step << '\n';
         return 1;
       }
-      iters += (d ? "," : "") + std::to_string(rep.iterations);
+      if (d) iters += ',';
+      iters += std::to_string(rep.iterations);
       for (int n = 0; n < nn; ++n) {
         unew[static_cast<std::size_t>(n) * fem::kDim + d] = x[n];
       }

@@ -1,5 +1,11 @@
 #include "core/experiment.h"
 
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 namespace vecfd::core {
 
 Experiment::Experiment(const fem::Mesh& mesh, const fem::State& state)
@@ -26,28 +32,96 @@ Measurement Experiment::run(const sim::MachineConfig& machine,
   return m;
 }
 
+std::vector<Measurement> Experiment::run_points(
+    std::span<const SweepPoint> points, int jobs) const {
+  std::vector<Measurement> out(points.size());
+  if (points.empty()) return out;
+
+  unsigned workers = jobs > 0 ? static_cast<unsigned>(jobs)
+                              : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > points.size()) {
+    workers = static_cast<unsigned>(points.size());
+  }
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out[i] = run(points[i].machine, points[i].app);
+    }
+    return out;
+  }
+
+  // Dynamic work-stealing over the point index: expensive points (large
+  // VECTOR_SIZE, semi-implicit) don't serialize behind cheap ones.  Each
+  // worker writes only its claimed slot, so order is deterministic.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        out[i] = run(points[i].machine, points[i].app);
+      } catch (...) {
+        std::scoped_lock lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return out;
+}
+
 std::vector<Measurement> Experiment::sweep_vector_sizes(
     const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
-    std::span<const int> sizes) const {
-  std::vector<Measurement> out;
-  out.reserve(sizes.size());
+    std::span<const int> sizes, int jobs) const {
+  std::vector<SweepPoint> points;
+  points.reserve(sizes.size());
   for (int vs : sizes) {
     app.vector_size = vs;
-    out.push_back(run(machine, app));
+    points.push_back({machine, app});
   }
-  return out;
+  return run_points(points, jobs);
 }
 
 std::vector<Measurement> Experiment::sweep_opt_levels(
     const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
-    std::span<const miniapp::OptLevel> levels) const {
-  std::vector<Measurement> out;
-  out.reserve(levels.size());
+    std::span<const miniapp::OptLevel> levels, int jobs) const {
+  std::vector<SweepPoint> points;
+  points.reserve(levels.size());
   for (miniapp::OptLevel o : levels) {
     app.opt = o;
-    out.push_back(run(machine, app));
+    points.push_back({machine, app});
   }
-  return out;
+  return run_points(points, jobs);
+}
+
+std::vector<Measurement> Experiment::sweep_grid(
+    const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
+    std::span<const int> sizes, std::span<const miniapp::OptLevel> levels,
+    int jobs) const {
+  std::vector<SweepPoint> points;
+  points.reserve(sizes.size() * levels.size());
+  for (int vs : sizes) {
+    for (miniapp::OptLevel o : levels) {
+      app.vector_size = vs;
+      app.opt = o;
+      points.push_back({machine, app});
+    }
+  }
+  return run_points(points, jobs);
 }
 
 }  // namespace vecfd::core

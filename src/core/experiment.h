@@ -5,6 +5,11 @@
 // metrics, decide the next optimization.  This module packages one turn of
 // that loop (run → Measurement) and the sweeps the evaluation section is
 // built from (VECTOR_SIZE × optimization level × machine).
+//
+// Sweeps fan out over a thread pool: every sweep point owns an independent
+// Vpu and MiniApp, the shared Mesh/State are only read, and results land in
+// a pre-sized vector slot per point — so parallel runs are race-free and
+// return measurements in the same deterministic order as a serial loop.
 #pragma once
 
 #include <array>
@@ -44,6 +49,12 @@ struct Measurement {
   }
 };
 
+/// One point of a sweep: a machine plus a full mini-app configuration.
+struct SweepPoint {
+  sim::MachineConfig machine;
+  miniapp::MiniAppConfig app;
+};
+
 class Experiment {
  public:
   /// Mesh and state must outlive the Experiment.
@@ -53,15 +64,29 @@ class Experiment {
   Measurement run(const sim::MachineConfig& machine,
                   const miniapp::MiniAppConfig& app) const;
 
+  /// Run every sweep point, fanning out over @p jobs worker threads
+  /// (jobs <= 0 → std::thread::hardware_concurrency).  Results are returned
+  /// in point order regardless of scheduling, byte-identical to a serial
+  /// loop over run().
+  std::vector<Measurement> run_points(std::span<const SweepPoint> points,
+                                      int jobs = 0) const;
+
   /// Sweep VECTOR_SIZE at a fixed optimization level.
   std::vector<Measurement> sweep_vector_sizes(
       const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
-      std::span<const int> sizes) const;
+      std::span<const int> sizes, int jobs = 0) const;
 
   /// Sweep optimization levels at a fixed VECTOR_SIZE.
   std::vector<Measurement> sweep_opt_levels(
       const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
-      std::span<const miniapp::OptLevel> levels) const;
+      std::span<const miniapp::OptLevel> levels, int jobs = 0) const;
+
+  /// The full evaluation grid: sizes × levels on one machine, size-major
+  /// (all levels of sizes[0], then sizes[1], ...).
+  std::vector<Measurement> sweep_grid(
+      const sim::MachineConfig& machine, miniapp::MiniAppConfig app,
+      std::span<const int> sizes, std::span<const miniapp::OptLevel> levels,
+      int jobs = 0) const;
 
   const fem::Mesh& mesh() const { return *mesh_; }
   const fem::State& state() const { return *state_; }
@@ -76,5 +101,11 @@ inline constexpr miniapp::OptLevel kAllOptLevels[] = {
     miniapp::OptLevel::kScalar, miniapp::OptLevel::kVanilla,
     miniapp::OptLevel::kVec2, miniapp::OptLevel::kIVec2,
     miniapp::OptLevel::kVec1};
+
+/// The vectorized levels the evaluation sweeps (§4 figures): everything the
+/// auto-vectorizer produces, scalar baseline excluded.
+inline constexpr miniapp::OptLevel kSweepOptLevels[] = {
+    miniapp::OptLevel::kVanilla, miniapp::OptLevel::kVec2,
+    miniapp::OptLevel::kIVec2, miniapp::OptLevel::kVec1};
 
 }  // namespace vecfd::core

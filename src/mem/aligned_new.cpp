@@ -1,0 +1,99 @@
+// vecfd::mem — cache-line-aligned global allocation.
+//
+// The memory hierarchy renames host cache lines into a dense canonical
+// space in first-touch order (memory_hierarchy.h).  That erases *where* a
+// buffer lives, but a buffer's offset modulo the line size still decides
+// how many lines it spans and which elements share one.  Forcing every
+// heap allocation onto a line boundary removes that last source of
+// allocator-dependent behaviour: a measurement becomes a pure function of
+// its access sequence, so repeated runs — serial or fanned out across
+// threads — produce byte-identical results.
+//
+// The alignment must cover the LARGEST line size any modelled platform
+// uses — SX-Aurora's 128 bytes (platforms.cpp) — or buffers land at
+// 0-or-64 mod 128 depending on heap history and sweeps on that machine go
+// nondeterministic again.
+//
+// Replacing the global operator new/delete set covers every std::vector
+// and std::string in the process without touching any container type.
+// std::free accepts std::aligned_alloc pointers, but all matching deletes
+// are replaced alongside the news so the pairing is explicit.
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 128;
+
+void* aligned_alloc_or_handler(std::size_t size) {
+  // aligned_alloc requires size to be a multiple of the alignment.
+  if (size > SIZE_MAX - (kMaxLineBytes - 1)) return nullptr;
+  const std::size_t padded =
+      (size + kMaxLineBytes - 1) & ~(kMaxLineBytes - 1);
+  for (;;) {
+    if (void* p =
+            std::aligned_alloc(kMaxLineBytes, padded ? padded : kMaxLineBytes)) {
+      return p;
+    }
+    if (std::new_handler h = std::get_new_handler()) {
+      h();
+    } else {
+      return nullptr;
+    }
+  }
+}
+
+void* aligned_new(std::size_t size) {
+  if (void* p = aligned_alloc_or_handler(size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return aligned_new(size); }
+void* operator new[](std::size_t size) { return aligned_new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return aligned_alloc_or_handler(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return aligned_alloc_or_handler(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (a <= kMaxLineBytes) return aligned_new(size);
+  if (size > SIZE_MAX - (a - 1)) throw std::bad_alloc();
+  const std::size_t padded = (size + a - 1) & ~(a - 1);
+  for (;;) {
+    if (void* p = std::aligned_alloc(a, padded ? padded : a)) return p;
+    if (std::new_handler h = std::get_new_handler()) {
+      h();
+    } else {
+      throw std::bad_alloc();
+    }
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "mem/cache.h"
 
@@ -36,6 +37,16 @@ struct AccessResult {
 /// `touch_range()` / repeated `access()` per element depending on their
 /// access pattern (the caller — vecfd::sim — decides, because the pattern is
 /// an instruction property).
+///
+/// Addresses are canonicalized before they reach the caches: each host
+/// cache line is renamed, in first-touch order, onto a dense simulated
+/// line space with in-line offsets preserved.  Host virtual addresses only
+/// identify a line — where the allocator placed a buffer (ASLR, heap
+/// history, per-thread arenas) cannot influence hit/miss behaviour, so a
+/// measurement is a pure function of its access sequence.  Together with
+/// the line-aligned global allocator (mem/aligned_new.cpp) this makes
+/// sweeps reproducible run-to-run and lets the parallel sweep engine
+/// promise byte-identical results to the serial path.
 class MemoryHierarchy {
  public:
   explicit MemoryHierarchy(HierarchyConfig cfg);
@@ -48,7 +59,8 @@ class MemoryHierarchy {
   double touch_range(std::uintptr_t addr, std::size_t bytes,
                      std::uint64_t* l1_misses_out = nullptr);
 
-  /// Invalidate all cached lines (e.g. between independent experiments).
+  /// Invalidate all cached lines and forget the canonical address mapping
+  /// (e.g. between independent experiments).
   void flush();
 
   const HierarchyConfig& config() const { return cfg_; }
@@ -60,9 +72,15 @@ class MemoryHierarchy {
   std::uint64_t l2_misses() const { return l2_.misses(); }
 
  private:
+  /// Map @p addr into the dense first-touch canonical space.
+  std::uintptr_t canonical(std::uintptr_t addr);
+
   HierarchyConfig cfg_;
   Cache l1_;
   Cache l2_;
+  std::uintptr_t line_mask_;
+  std::unordered_map<std::uintptr_t, std::uintptr_t> line_map_;
+  std::uintptr_t next_line_ = 0;
 };
 
 }  // namespace vecfd::mem

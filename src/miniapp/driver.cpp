@@ -7,6 +7,15 @@
 
 namespace vecfd::miniapp {
 
+namespace {
+
+// Phase kernels in execution order; index i runs as profiler phase i+1.
+using PhaseFn = void (*)(sim::Vpu&, const Ctx&, ElementChunk&);
+constexpr PhaseFn kPhaseTable[kNumPhases] = {phase1, phase2, phase3, phase4,
+                                             phase5, phase6, phase7, phase8};
+
+}  // namespace
+
 MiniApp::MiniApp(const fem::Mesh& mesh, const fem::State& state,
                  MiniAppConfig cfg)
     : mesh_(&mesh), state_(&state), shape_(), cfg_(cfg) {
@@ -46,43 +55,17 @@ MiniAppResult MiniApp::run(sim::Vpu& vpu) const {
   for (int c = 0; c < nchunks; ++c) {
     const auto range = mesh_->chunk(cfg_.vector_size, c);
     ch.reset(range.first, range.count);
-    {
-      sim::ScopedPhase p(vpu.profiler(), 1);
-      phase1(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 2);
-      phase2(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 3);
-      phase3(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 4);
-      phase4(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 5);
-      phase5(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 6);
-      phase6(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 7);
-      phase7(vpu, ctx, ch);
-    }
-    {
-      sim::ScopedPhase p(vpu.profiler(), 8);
-      phase8(vpu, ctx, ch);
+    for (int p = 0; p < kNumPhases; ++p) {
+      sim::ScopedPhase scope(vpu.profiler(), p + 1);
+      kPhaseTable[p](vpu, ctx, ch);
     }
   }
 
   res.total = vpu.counters();
-  res.phase.resize(9);
-  for (int p = 0; p <= 8; ++p) res.phase[p] = vpu.profiler().phase(p);
+  res.phase.resize(kNumPhases + 1);
+  for (int p = 0; p <= kNumPhases; ++p) {
+    res.phase[p] = vpu.profiler().phase(p);
+  }
   res.cycles = res.total.total_cycles();
   return res;
 }

@@ -29,6 +29,9 @@ struct MiniAppResult {
   double cycles = 0.0;                 ///< convenience: total cycles
 };
 
+/// The eight instrumented phases of one assembly pass (§2.3).
+inline constexpr int kNumPhases = 8;
+
 class MiniApp {
  public:
   /// The mesh and state must outlive the MiniApp.
@@ -44,6 +47,12 @@ class MiniApp {
 
   /// Execute the full assembly on @p vpu.  Resets the machine (counters,
   /// phases, caches) first so results are independent measurements.
+  ///
+  /// Thread safety: run() only reads the shared Mesh/State/ShapeTable and
+  /// writes through @p vpu and the returned result, so concurrent calls on
+  /// the same MiniApp (or on distinct MiniApps over one mesh) are safe as
+  /// long as each caller owns its Vpu.  core::Experiment::run_points builds
+  /// its sweep fan-out on this guarantee.
   MiniAppResult run(sim::Vpu& vpu) const;
 
  private:

@@ -1,0 +1,97 @@
+// CLI contract of the vecfd-run binary: --help exits 0, every invalid
+// argument names the offending flag on stderr and exits non-zero, and the
+// parallel sweep writes byte-identical CSV to the serial sweep.
+//
+// CMake injects the binary path as VECFD_RUN_BIN.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kBin = VECFD_RUN_BIN;
+
+int exit_code(const std::string& args) {
+  const std::string cmd = kBin + " " + args + " >/dev/null 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+std::string stderr_of(const std::string& args) {
+  const std::string cmd = kBin + " " + args + " 2>&1 1>/dev/null";
+  FILE* p = popen(cmd.c_str(), "r");
+  EXPECT_NE(p, nullptr);
+  std::string out;
+  char buf[256];
+  while (p != nullptr && fgets(buf, sizeof buf, p) != nullptr) out += buf;
+  if (p != nullptr) pclose(p);
+  return out;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(CliContract, HelpExitsZero) {
+  EXPECT_EQ(exit_code("--help"), 0);
+  EXPECT_EQ(exit_code("-h"), 0);
+}
+
+TEST(CliContract, DefaultRunExitsZero) {
+  EXPECT_EQ(exit_code("--mesh 4,4,2"), 0);
+}
+
+TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
+  const struct {
+    const char* args;
+    const char* flag;
+  } cases[] = {
+      {"--machine bogus", "--machine"},
+      {"--vs -7", "--vs"},
+      {"--vs 0", "--vs"},
+      {"--vs banana", "--vs"},
+      {"--mesh 0,0,0", "--mesh"},
+      {"--opt turbo", "--opt"},
+      {"--scheme magic", "--scheme"},
+      {"--jobs -2", "--jobs"},
+      {"--frobnicate", "--frobnicate"},
+      {"--machine", "--machine"},  // missing value
+  };
+  for (const auto& c : cases) {
+    EXPECT_NE(exit_code(c.args), 0) << c.args;
+    EXPECT_NE(stderr_of(c.args).find(c.flag), std::string::npos)
+        << c.args << " should name " << c.flag << " on stderr";
+  }
+}
+
+TEST(CliContract, ParallelSweepCsvIsByteIdenticalToSerial) {
+  const fs::path dir = fs::temp_directory_path();
+  const fs::path serial = dir / "vecfd_cli_serial.csv";
+  const fs::path parallel = dir / "vecfd_cli_parallel.csv";
+  const std::string mesh = "--mesh 4,4,2";
+  ASSERT_EQ(exit_code("--sweep --jobs 1 " + mesh + " --csv " +
+                      serial.string()),
+            0);
+  ASSERT_EQ(exit_code("--sweep --jobs 4 " + mesh + " --csv " +
+                      parallel.string()),
+            0);
+  const std::string a = slurp(serial);
+  const std::string b = slurp(parallel);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  fs::remove(serial);
+  fs::remove(parallel);
+}
+
+}  // namespace

@@ -123,13 +123,43 @@ TEST(MemoryHierarchy, LatencyAttributionPerLevel) {
 
 TEST(MemoryHierarchy, L2CatchesL1Evictions) {
   MemoryHierarchy mh(small_hier());
-  // lines 0, 9, 18 share an L1 set under the folded index (8 sets, 2 ways)
-  mh.access(0 * 64);
-  mh.access(9 * 64);
-  mh.access(18 * 64);  // evicts line 0 from L1, still in L2
+  // The hierarchy renames host lines in first-touch order, so touching 19
+  // distinct lines in ascending order populates canonical lines 0..18.
+  // Canonical lines 0, 9, 18 share an L1 set under the folded index (8
+  // sets, 2 ways), so line 18 evicts line 0 from L1 — but not from L2.
+  for (std::uintptr_t l = 0; l <= 18; ++l) mh.access(l * 64);
   auto r = mh.access(0 * 64);
   EXPECT_EQ(r.level, 2);
   EXPECT_DOUBLE_EQ(r.penalty, 10.0);
+}
+
+TEST(MemoryHierarchy, CanonicalizationErasesAllocatorPlacement) {
+  // Two access sequences that differ only in absolute placement must
+  // produce identical hit/miss behaviour.
+  MemoryHierarchy a(small_hier());
+  MemoryHierarchy b(small_hier());
+  const std::uintptr_t offsets[] = {0, 64, 4096, 64, 1 << 20, 0};
+  for (std::uintptr_t off : offsets) (void)a.access(0x10000 + off);
+  for (std::uintptr_t off : offsets) (void)b.access(0x7fff0000 + off);
+  EXPECT_EQ(a.l1_misses(), b.l1_misses());
+  EXPECT_EQ(a.l2_misses(), b.l2_misses());
+  EXPECT_EQ(a.l1_accesses(), b.l1_accesses());
+}
+
+TEST(MemoryHierarchy, GlobalAllocationsAreLineAligned) {
+  // mem/aligned_new.cpp pins every heap allocation to the largest modelled
+  // line size (128 bytes, SX-Aurora); the determinism story depends on it,
+  // so fail loudly if the replacement operator new was not linked in.
+  for (std::size_t n : {1ul, 8ul, 100ul, 4097ul}) {
+    std::vector<double> v(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 128, 0u) << n;
+  }
+}
+
+TEST(MemoryHierarchy, MismatchedLineSizesAreRejected) {
+  HierarchyConfig h = small_hier();
+  h.l2.line_bytes = 128;
+  EXPECT_THROW(MemoryHierarchy{h}, std::invalid_argument);
 }
 
 TEST(MemoryHierarchy, TouchRangeCountsLines) {

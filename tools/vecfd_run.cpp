@@ -9,7 +9,14 @@
 //   vecfd-run --machine sx-aurora --opt ivec2 --vs 240 --advise
 //   vecfd-run --opt vec2 --vs 240 --prv trace --remarks
 //
-// Exit codes: 0 ok, 2 bad usage.
+// The sweep fans out over a thread pool (one Vpu per sweep point); --jobs
+// bounds the worker count and --jobs 1 forces the serial path.  Output is
+// byte-identical either way.
+//
+// Exit codes: 0 ok, 2 bad usage (offending flag named on stderr).
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -35,6 +42,7 @@ struct Options {
   std::string opt = "vec1";
   std::string scheme = "explicit";
   int vs = 240;
+  int jobs = 0;  ///< sweep worker threads; 0 = all cores, 1 = serial
   bool sweep = false;
   bool advise = false;
   bool remarks = false;
@@ -51,13 +59,24 @@ void usage(std::ostream& os) {
         "                                      (default vec1)\n"
         "  --scheme S    explicit | semi       (default explicit)\n"
         "  --vs N        VECTOR_SIZE           (default 240)\n"
-        "  --sweep       run the paper's sweep {16,64,128,240,256,512}\n"
+        "  --sweep       run the paper's full grid {16,64,128,240,256,512}\n"
+        "                x {vanilla,vec2,ivec2,vec1} in parallel\n"
+        "  --jobs N      sweep worker threads (default 0 = all cores;\n"
+        "                1 = serial)\n"
         "  --mesh X,Y,Z  elements per axis     (default 16,20,24)\n"
         "  --csv FILE    append measurement rows as CSV\n"
         "  --prv BASE    write BASE.prv/BASE.pcf Paraver trace (single run)\n"
         "  --advise      print co-design Advisor findings\n"
         "  --remarks     print the compiler model's vectorization remarks\n"
         "  --help\n";
+}
+
+/// Report a bad flag/value pair on stderr.  Always returns false so parse
+/// call sites can `return fail(...)`.
+bool fail(const std::string& flag, const std::string& why) {
+  std::cerr << "vecfd-run: " << flag << ": " << why << '\n'
+            << "vecfd-run: try --help\n";
+  return false;
 }
 
 std::optional<sim::MachineConfig> parse_machine(const std::string& name) {
@@ -77,6 +96,16 @@ std::optional<miniapp::OptLevel> parse_opt(const std::string& o) {
   return std::nullopt;
 }
 
+/// Strict integer parse: the whole string must be a base-10 integer.
+std::optional<int> parse_int(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < INT_MIN || v > INT_MAX) {
+    return std::nullopt;
+  }
+  return static_cast<int>(v);
+}
+
 bool parse_args(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -88,42 +117,58 @@ bool parse_args(int argc, char** argv, Options& opt) {
       std::exit(0);
     } else if (a == "--machine") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return fail(a, "missing value");
       opt.machine = v;
     } else if (a == "--opt") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return fail(a, "missing value");
       opt.opt = v;
     } else if (a == "--scheme") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return fail(a, "missing value");
       opt.scheme = v;
     } else if (a == "--vs") {
       const char* v = next();
-      if (!v) return false;
-      opt.vs = std::atoi(v);
+      if (!v) return fail(a, "missing value");
+      const auto n = parse_int(v);
+      if (!n || *n <= 0) {
+        return fail(a, "invalid VECTOR_SIZE '" + std::string(v) +
+                           "' (want a positive integer)");
+      }
+      opt.vs = *n;
+    } else if (a == "--jobs") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      const auto n = parse_int(v);
+      if (!n || *n < 0) {
+        return fail(a, "invalid job count '" + std::string(v) +
+                           "' (want 0 = all cores, or a positive integer)");
+      }
+      opt.jobs = *n;
     } else if (a == "--sweep") {
       opt.sweep = true;
     } else if (a == "--mesh") {
       const char* v = next();
-      if (!v || std::sscanf(v, "%d,%d,%d", &opt.nx, &opt.ny, &opt.nz) != 3) {
-        return false;
+      if (!v) return fail(a, "missing value");
+      if (std::sscanf(v, "%d,%d,%d", &opt.nx, &opt.ny, &opt.nz) != 3 ||
+          opt.nx <= 0 || opt.ny <= 0 || opt.nz <= 0) {
+        return fail(a, "invalid mesh '" + std::string(v) +
+                           "' (want X,Y,Z with positive elements per axis)");
       }
     } else if (a == "--csv") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return fail(a, "missing value");
       opt.csv_path = v;
     } else if (a == "--prv") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return fail(a, "missing value");
       opt.prv_base = v;
     } else if (a == "--advise") {
       opt.advise = true;
     } else if (a == "--remarks") {
       opt.remarks = true;
     } else {
-      std::cerr << "unknown option: " << a << '\n';
-      return false;
+      return fail(a, "unknown option");
     }
   }
   return true;
@@ -156,14 +201,20 @@ void print_measurement(const core::Measurement& m) {
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) {
-    usage(std::cerr);
     return 2;
   }
   const auto machine = parse_machine(opts.machine);
+  if (!machine) {
+    fail("--machine", "unknown machine '" + opts.machine + "'");
+    return 2;
+  }
   const auto level = parse_opt(opts.opt);
-  if (!machine || !level || opts.vs <= 0 || opts.nx <= 0 || opts.ny <= 0 ||
-      opts.nz <= 0) {
-    usage(std::cerr);
+  if (!level) {
+    fail("--opt", "unknown optimization level '" + opts.opt + "'");
+    return 2;
+  }
+  if (opts.scheme != "explicit" && opts.scheme != "semi") {
+    fail("--scheme", "unknown scheme '" + opts.scheme + "'");
     return 2;
   }
 
@@ -178,8 +229,8 @@ int main(int argc, char** argv) {
 
   std::vector<core::Measurement> ms;
   if (opts.sweep) {
-    ms = ex.sweep_vector_sizes(*machine, cfg,
-                               miniapp::kStudiedVectorSizes);
+    ms = ex.sweep_grid(*machine, cfg, miniapp::kStudiedVectorSizes,
+                       core::kSweepOptLevels, opts.jobs);
   } else {
     cfg.vector_size = opts.vs;
     ms.push_back(ex.run(*machine, cfg));
