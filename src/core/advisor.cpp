@@ -40,7 +40,8 @@ std::vector<Finding> advise(const Measurement& m) {
   std::vector<Finding> findings;
   const sim::MachineConfig& mc = m.machine;
 
-  for (int p = 1; p <= 8; ++p) {
+  // All instrumented phases, including the phase-9 solve when present.
+  for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     const double share = m.phase_share(p);
     const metrics::VectorMetrics& pm = m.phase_metrics[p];
     if (share < 0.02) continue;  // below the noise floor of the methodology

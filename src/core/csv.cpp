@@ -18,10 +18,13 @@ class ScopedPrecision {
 };
 }  // namespace
 
+// Header and row iterate the SAME phase-count constant: deriving both from
+// miniapp::kNumInstrumentedPhases makes it impossible for them to desync
+// (they previously hard-coded `p <= 8` independently).
 void write_csv_header(std::ostream& os) {
   os << "machine,opt,scheme,vector_size,total_cycles,total_instrs,"
         "vector_instrs,mv,av,vcpi,avl,ev,flops,l1_misses,l2_misses";
-  for (int p = 1; p <= 8; ++p) {
+  for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
   os << '\n';
@@ -36,7 +39,7 @@ void write_measurement_row(std::ostream& os, const Measurement& m) {
      << ',' << m.overall.vcpi << ',' << m.overall.avl << ',' << m.overall.ev
      << ',' << m.total.flops << ',' << m.total.l1_misses << ','
      << m.total.l2_misses;
-  for (int p = 1; p <= 8; ++p) {
+  for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ',' << m.phase_cycles(p) << ',' << m.phase_metrics[p].mv << ','
        << m.phase_metrics[p].avl;
   }

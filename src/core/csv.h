@@ -17,7 +17,8 @@ namespace vecfd::core {
 void write_csv_header(std::ostream& os);
 
 /// One CSV row per measurement: machine, config, totals, §2.2 metrics and
-/// per-phase cycles/Mv/AVL.
+/// per-phase cycles/Mv/AVL for phases 1..miniapp::kNumInstrumentedPhases
+/// (ph9 is the Krylov solve; its columns are zero when run_solve is off).
 void write_measurement_row(std::ostream& os, const Measurement& m);
 
 /// Convenience: header + all rows.

@@ -23,11 +23,13 @@ Measurement Experiment::run(const sim::MachineConfig& machine,
   m.plan = ma.plan(machine);
   m.total = r.total;
   m.total_cycles = r.total.total_cycles();
-  for (int p = 0; p <= 8; ++p) {
+  for (int p = 0; p <= miniapp::kNumInstrumentedPhases; ++p) {
     m.phase[p] = r.phase[p];
     m.phase_metrics[p] = metrics::compute(r.phase[p], machine.vlmax);
   }
   m.overall = metrics::compute(r.total, machine.vlmax);
+  m.solve = std::move(r.solve);
+  m.has_solve = r.has_solve;
   m.rhs = std::move(r.rhs);
   return m;
 }

@@ -34,10 +34,17 @@ struct Measurement {
 
   double total_cycles = 0.0;
   sim::Counters total;
-  std::array<sim::Counters, 9> phase{};  ///< 1..8 (0 = outside)
+  /// Per-phase counters, 1..kNumInstrumentedPhases (0 = outside).  Phase 9
+  /// is the Krylov solve and stays zero unless app.run_solve is set.
+  std::array<sim::Counters, miniapp::kNumInstrumentedPhases + 1> phase{};
 
   metrics::VectorMetrics overall;
-  std::array<metrics::VectorMetrics, 9> phase_metrics{};
+  std::array<metrics::VectorMetrics, miniapp::kNumInstrumentedPhases + 1>
+      phase_metrics{};
+
+  /// Phase-9 solve convergence report (valid when has_solve).
+  solver::SolveReport solve;
+  bool has_solve = false;
 
   /// Assembled RHS (kept so callers can verify results / chain a solve).
   std::vector<double> rhs;

@@ -38,6 +38,14 @@ struct MiniAppConfig {
   int vector_size = 240;  ///< Alya's VECTOR_SIZE chunk parameter
   fem::Scheme scheme = fem::Scheme::kExplicit;
   OptLevel opt = OptLevel::kVanilla;
+
+  /// Chain the instrumented Krylov solve (phase 9) after assembly: the
+  /// x-momentum system K·u = f is solved with the long-vector BiCGStab of
+  /// solver/vkernels.h, strip-mined at `vector_size`.  Requires the
+  /// semi-implicit scheme (the explicit scheme assembles no matrix).
+  bool run_solve = false;
+  int solve_max_iterations = 500;
+  double solve_rel_tolerance = 1e-10;
 };
 
 }  // namespace vecfd::miniapp

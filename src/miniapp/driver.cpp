@@ -4,6 +4,7 @@
 
 #include "miniapp/chunk.h"
 #include "miniapp/phases.h"
+#include "solver/vkernels.h"
 
 namespace vecfd::miniapp {
 
@@ -21,6 +22,11 @@ MiniApp::MiniApp(const fem::Mesh& mesh, const fem::State& state,
     : mesh_(&mesh), state_(&state), shape_(), cfg_(cfg) {
   if (cfg_.vector_size <= 0) {
     throw std::invalid_argument("MiniApp: vector_size must be positive");
+  }
+  if (cfg_.run_solve && cfg_.scheme != fem::Scheme::kSemiImplicit) {
+    throw std::invalid_argument(
+        "MiniApp: run_solve requires the semi-implicit scheme (the explicit "
+        "scheme assembles no matrix to solve)");
   }
 }
 
@@ -61,9 +67,27 @@ MiniAppResult MiniApp::run(sim::Vpu& vpu) const {
     }
   }
 
+  // Phase 9: the instrumented Krylov solve of the x-momentum system
+  // K·u = f on the operator just assembled — the indexed-load SpMV
+  // workload the co-design argument is made on.
+  if (cfg_.run_solve) {
+    const int nn = mesh_->num_nodes();
+    res.solution.assign(static_cast<std::size_t>(nn), 0.0);
+    std::vector<double> rhs0(static_cast<std::size_t>(nn));
+    solver::SolveOptions sopts;
+    sopts.max_iterations = cfg_.solve_max_iterations;
+    sopts.rel_tolerance = cfg_.solve_rel_tolerance;
+    sim::ScopedPhase scope(vpu.profiler(), kSolvePhase);
+    solver::vpack_strided(vpu, res.rhs.data(), fem::kDim, rhs0,
+                          cfg_.vector_size);
+    res.solve = solver::vbicgstab(vpu, res.matrix, rhs0, res.solution, sopts,
+                                  cfg_.vector_size);
+    res.has_solve = true;
+  }
+
   res.total = vpu.counters();
-  res.phase.resize(kNumPhases + 1);
-  for (int p = 0; p <= kNumPhases; ++p) {
+  res.phase.resize(kNumInstrumentedPhases + 1);
+  for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
     res.phase[p] = vpu.profiler().phase(p);
   }
   res.cycles = res.total.total_cycles();

@@ -14,6 +14,7 @@
 #include "miniapp/plan.h"
 #include "sim/vpu.h"
 #include "solver/csr.h"
+#include "solver/krylov.h"
 
 namespace vecfd::miniapp {
 
@@ -23,14 +24,30 @@ struct MiniAppResult {
   solver::CsrMatrix matrix;    ///< assembled momentum operator
   bool has_matrix = false;     ///< true under the semi-implicit scheme
 
+  /// Phase-9 solve output (config.run_solve): the x-momentum solution and
+  /// the Krylov convergence report.
+  std::vector<double> solution;
+  solver::SolveReport solve;
+  bool has_solve = false;
+
   // ---- measurement -------------------------------------------------------
   sim::Counters total;                 ///< whole-run counters
-  std::vector<sim::Counters> phase;    ///< index 1..8 (0 = outside phases)
+  std::vector<sim::Counters> phase;    ///< index 1..9 (0 = outside phases)
   double cycles = 0.0;                 ///< convenience: total cycles
 };
 
 /// The eight instrumented phases of one assembly pass (§2.3).
 inline constexpr int kNumPhases = 8;
+
+/// Phase id of the chained Krylov solve (config.run_solve).
+inline constexpr int kSolvePhase = 9;
+
+/// Phases carried by every MiniAppResult / Measurement / CSV row: the eight
+/// assembly phases plus the solve.  This is the single source of truth the
+/// CSV header and row writers derive their column count from.
+inline constexpr int kNumInstrumentedPhases = kSolvePhase;
+static_assert(kNumInstrumentedPhases <= sim::kDefaultNumPhases,
+              "default Vpu profiler must cover every instrumented phase");
 
 class MiniApp {
  public:

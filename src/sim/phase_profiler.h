@@ -14,10 +14,14 @@
 
 namespace vecfd::sim {
 
+/// Default phase-id range of a fresh profiler / Vpu: the mini-app's eight
+/// assembly phases plus the phase-9 Krylov solve (miniapp::kSolvePhase).
+inline constexpr int kDefaultNumPhases = 9;
+
 class PhaseProfiler {
  public:
   /// @param num_phases phase ids are 1..num_phases; 0 means "outside".
-  explicit PhaseProfiler(int num_phases = 8)
+  explicit PhaseProfiler(int num_phases = kDefaultNumPhases)
       : phases_(static_cast<std::size_t>(num_phases) + 1) {}
 
   int num_phases() const { return static_cast<int>(phases_.size()) - 1; }

@@ -25,7 +25,12 @@ enum class ArithOp {
 
 class TimingModel {
  public:
+  /// Keeps a pointer to @p cfg, which must outlive the model.  The rvalue
+  /// overload is deleted so a temporary MachineConfig (e.g.
+  /// `TimingModel(riscv_vec())`) cannot silently dangle — ASan caught
+  /// exactly that pattern in the test suite.
   explicit TimingModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+  explicit TimingModel(MachineConfig&&) = delete;
 
   /// Throughput multiplier of the lane-feeding FSM for a given vl.
   /// 1.0 when vl is a multiple of lanes*fsm_group (or the quirk is off).

@@ -36,7 +36,7 @@ class InstrObserver {
 
 class Vpu {
  public:
-  explicit Vpu(MachineConfig cfg, int num_phases = 8);
+  explicit Vpu(MachineConfig cfg, int num_phases = kDefaultNumPhases);
 
   // ---- configuration & state ------------------------------------------
   const MachineConfig& config() const { return cfg_; }

@@ -46,6 +46,19 @@ void apply_precond(const std::vector<double>& dinv,
     for (std::size_t i = 0; i < r.size(); ++i) z[i] = dinv[i] * r[i];
   }
 }
+
+/// Breakdown exit (see the contract in krylov.h): record the true relative
+/// residual of the current iterate so callers never see the misleading
+/// `residual == 0, converged == false` pair, and flag convergence if the
+/// breakdown happened because the residual is already below tolerance.
+SolveReport& breakdown_exit(SolveReport& rep, std::span<const double> r,
+                            double bnorm, double rel_tolerance) {
+  const double rel = norm2(r) / bnorm;
+  rep.residual = rel;
+  rep.history.push_back(rel);
+  if (rel < rel_tolerance) rep.converged = true;
+  return rep;
+}
 }  // namespace
 
 SolveReport cg(const CsrMatrix& a, std::span<const double> b,
@@ -74,7 +87,9 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
   for (int it = 0; it < opts.max_iterations; ++it) {
     a.spmv(p, ap);
     const double pap = dot(p, ap);
-    if (pap == 0.0) break;
+    if (pap == 0.0) {
+      return breakdown_exit(rep, r, bnorm, opts.rel_tolerance);
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
@@ -128,7 +143,10 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       // (common when Dirichlet rows decouple); restart with r0 = r.
       r0 = r;
       rho_new = dot(r, r);
-      if (rho_new == 0.0) break;
+      if (rho_new == 0.0) {
+        // r is exactly zero: the iterate is an exact solution.
+        return breakdown_exit(rep, r, bnorm, opts.rel_tolerance);
+      }
       restart = true;
     }
     if (restart) {
@@ -143,7 +161,9 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     apply_precond(dinv, p, phat);
     a.spmv(phat, v);
     const double r0v = dot(r0, v);
-    if (r0v == 0.0) break;
+    if (r0v == 0.0) {
+      return breakdown_exit(rep, r, bnorm, opts.rel_tolerance);
+    }
     alpha = rho / r0v;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
     if (norm2(s) / bnorm < opts.rel_tolerance) {
@@ -157,7 +177,12 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     apply_precond(dinv, s, shat);
     a.spmv(shat, t);
     const double tt = dot(t, t);
-    if (tt == 0.0) break;
+    if (tt == 0.0) {
+      // Apply the valid half-step so x is consistent with the reported
+      // residual s = b - A·(x + α·p̂).
+      axpy(alpha, phat, x);
+      return breakdown_exit(rep, s, bnorm, opts.rel_tolerance);
+    }
     omega = dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * phat[i] + omega * shat[i];
@@ -171,6 +196,8 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       rep.converged = true;
       return rep;
     }
+    // ω = 0 is a breakdown, but x, residual and history were just updated
+    // above, so the exit already satisfies the reporting contract.
     if (omega == 0.0) break;
   }
   return rep;

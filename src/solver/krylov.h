@@ -15,10 +15,19 @@ struct SolveOptions {
   bool jacobi_precondition = true;
 };
 
+/// Breakdown-reporting contract: every exit path — convergence, iteration
+/// budget exhausted, or a Krylov breakdown (cg: p·Ap = 0; bicgstab:
+/// r₀·v = 0, t·t = 0, ω = 0, or a failed ρ restart) — leaves `residual`
+/// equal to the true relative residual ‖b − A·x‖₂ / ‖b‖₂ of the returned
+/// `x`, and appends it to `history`.  A breakdown therefore never returns
+/// the misleading `residual == 0, converged == false` pair; conversely, a
+/// breakdown with an exactly zero residual (e.g. an exact initial guess)
+/// reports `converged == true`.  On a breakdown exit `history` may hold one
+/// entry more than `iterations` completed.
 struct SolveReport {
   bool converged = false;
   int iterations = 0;
-  double residual = 0.0;      ///< final relative residual
+  double residual = 0.0;      ///< final relative residual (see contract above)
   std::vector<double> history;  ///< relative residual per iteration
 };
 

@@ -1,0 +1,419 @@
+#include "solver/vkernels.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vecfd::solver {
+
+EllMatrix::EllMatrix(const CsrMatrix& a) : rows_(a.rows()) {
+  for (int r = 0; r < rows_; ++r) {
+    width_ = std::max(width_, static_cast<int>(a.row_cols(r).size()));
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(rows_);
+  vals_.assign(cells, 0.0);
+  cols_.assign(cells, 0);
+  for (int r = 0; r < rows_; ++r) {
+    const auto cs = a.row_cols(r);
+    const auto vs = a.row_vals(r);
+    for (int j = 0; j < width_; ++j) {
+      const std::size_t k = static_cast<std::size_t>(j) * rows_ + r;
+      if (j < static_cast<int>(cs.size())) {
+        vals_[k] = vs[static_cast<std::size_t>(j)];
+        cols_[k] = cs[static_cast<std::size_t>(j)];
+      } else {
+        cols_[k] = r;  // padding: contributes exactly 0·x[r]
+      }
+    }
+  }
+}
+
+namespace {
+
+bool vector_path(const sim::Vpu& vpu) { return vpu.config().vector_enabled; }
+
+int effective_strip(const sim::Vpu& vpu, int strip) {
+  return strip <= 0 || strip > vpu.vlmax() ? vpu.vlmax() : strip;
+}
+
+/// Strip-mined traversal of [0, n): fn(i, vl) sees vl = min(strip, n - i)
+/// already granted via vsetvl.
+template <class Fn>
+void for_strips(sim::Vpu& vpu, int n, int strip, Fn&& fn) {
+  for (int i = 0; i < n;) {
+    const int vl = vpu.set_vl(std::min(strip, n - i));
+    fn(i, vl);
+    vpu.sarith(2);  // strip bump + loop bound check
+    i += vl;
+  }
+}
+
+void check_len(std::size_t got, std::size_t want, const char* what) {
+  if (got != want) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+}
+
+/// out = base + scale·scaled (out may alias either input).
+void axpby_into(sim::Vpu& vpu, std::span<const double> base, double scale,
+                std::span<const double> scaled, std::span<double> out,
+                int strip) {
+  const int n = static_cast<int>(out.size());
+  check_len(base.size(), out.size(), "axpby_into");
+  check_len(scaled.size(), out.size(), "axpby_into");
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec vb = vpu.vload(base.data() + i);
+      const sim::Vec vs = vpu.vload(scaled.data() + i);
+      vpu.vstore(out.data() + i, vpu.vfma_s(vs, scale, vb));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double bi = vpu.sload(base.data() + i);
+      const double si = vpu.sload(scaled.data() + i);
+      vpu.sstore(out.data() + i, vpu.sfma(si, scale, bi));
+      vpu.sarith(1);
+    }
+  }
+}
+
+/// p = r + beta·(p − omega·v), the BiCGStab direction update.
+void bicgstab_p_update(sim::Vpu& vpu, std::span<const double> r, double beta,
+                       double omega, std::span<const double> v,
+                       std::span<double> p, int strip) {
+  const int n = static_cast<int>(p.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec vp = vpu.vload(p.data() + i);
+      const sim::Vec vv = vpu.vload(v.data() + i);
+      const sim::Vec vr = vpu.vload(r.data() + i);
+      const sim::Vec tmp = vpu.vfma_s(vv, -omega, vp);
+      vpu.vstore(p.data() + i, vpu.vfma_s(tmp, beta, vr));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double pi = vpu.sload(p.data() + i);
+      const double vi = vpu.sload(v.data() + i);
+      const double ri = vpu.sload(r.data() + i);
+      vpu.sstore(p.data() + i, vpu.sfma(vpu.sfma(vi, -omega, pi), beta, ri));
+      vpu.sarith(1);
+    }
+  }
+}
+
+/// Breakdown exit mirroring krylov.cpp's contract, residual computed
+/// through the Vpu so the exit stays instrumented.
+SolveReport& vbreakdown_exit(sim::Vpu& vpu, SolveReport& rep,
+                             std::span<const double> r, double bnorm,
+                             const SolveOptions& opts, int strip) {
+  const double rel = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+  rep.residual = rel;
+  rep.history.push_back(rel);
+  if (rel < opts.rel_tolerance) rep.converged = true;
+  return rep;
+}
+
+}  // namespace
+
+void vspmv(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
+           std::span<double> y, int strip) {
+  const int n = a.rows();
+  check_len(x.size(), static_cast<std::size_t>(n), "vspmv");
+  check_len(y.size(), static_cast<std::size_t>(n), "vspmv");
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      sim::Vec acc = vpu.vsplat(0.0);
+      for (int j = 0; j < a.width(); ++j) {
+        const sim::Vec vv = vpu.vload(a.vals(j) + i);
+        const sim::Vec idx = vpu.vload_i32(a.cols(j) + i);
+        const sim::Vec xs = vpu.vgather(x.data(), idx);
+        acc = vpu.vfma(vv, xs, acc);
+        vpu.sarith(1);  // slab-loop control
+      }
+      vpu.vstore(y.data() + i, acc);
+    });
+  } else {
+    for (int r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (int j = 0; j < a.width(); ++j) {
+        const double v = vpu.sload(a.vals(j) + r);
+        const std::int32_t c = vpu.sload_i32(a.cols(j) + r);
+        const double xv = vpu.sload(x.data() + c);
+        s = vpu.sfma(v, xv, s);
+        vpu.sarith(1);
+      }
+      vpu.sstore(y.data() + r, s);
+      vpu.sarith(1);
+    }
+  }
+}
+
+double vdot(sim::Vpu& vpu, std::span<const double> a,
+            std::span<const double> b, int strip) {
+  check_len(b.size(), a.size(), "vdot");
+  const int n = static_cast<int>(a.size());
+  double s = 0.0;
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec va = vpu.vload(a.data() + i);
+      const sim::Vec vb = vpu.vload(b.data() + i);
+      s = vpu.sadd(s, vpu.vredsum(vpu.vmul(va, vb)));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double ai = vpu.sload(a.data() + i);
+      const double bi = vpu.sload(b.data() + i);
+      s = vpu.sfma(ai, bi, s);
+      vpu.sarith(1);
+    }
+  }
+  return s;
+}
+
+double vnorm2(sim::Vpu& vpu, std::span<const double> a, int strip) {
+  return vpu.ssqrt(vdot(vpu, a, a, strip));
+}
+
+void vaxpy(sim::Vpu& vpu, double alpha, std::span<const double> x,
+           std::span<double> y, int strip) {
+  axpby_into(vpu, y, alpha, x, y, strip);
+}
+
+void vxpby(sim::Vpu& vpu, std::span<const double> x, double beta,
+           std::span<double> y, int strip) {
+  axpby_into(vpu, x, beta, y, y, strip);
+}
+
+void vsub(sim::Vpu& vpu, std::span<const double> a, std::span<const double> b,
+          std::span<double> out, int strip) {
+  check_len(a.size(), out.size(), "vsub");
+  check_len(b.size(), out.size(), "vsub");
+  const int n = static_cast<int>(out.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec va = vpu.vload(a.data() + i);
+      const sim::Vec vb = vpu.vload(b.data() + i);
+      vpu.vstore(out.data() + i, vpu.vsub(va, vb));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double ai = vpu.sload(a.data() + i);
+      const double bi = vpu.sload(b.data() + i);
+      vpu.sstore(out.data() + i, vpu.ssub(ai, bi));
+      vpu.sarith(1);
+    }
+  }
+}
+
+void vcopy(sim::Vpu& vpu, std::span<const double> src, std::span<double> dst,
+           int strip) {
+  check_len(src.size(), dst.size(), "vcopy");
+  const int n = static_cast<int>(dst.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      vpu.vstore(dst.data() + i, vpu.vload(src.data() + i));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      vpu.sstore(dst.data() + i, vpu.sload(src.data() + i));
+      vpu.sarith(1);
+    }
+  }
+}
+
+void vfill(sim::Vpu& vpu, std::span<double> dst, double value, int strip) {
+  const int n = static_cast<int>(dst.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      vpu.vstore(dst.data() + i, vpu.vsplat(value));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      vpu.sstore(dst.data() + i, value);
+      vpu.sarith(1);
+    }
+  }
+}
+
+void vjacobi_apply(sim::Vpu& vpu, std::span<const double> dinv,
+                   std::span<const double> r, std::span<double> z,
+                   int strip) {
+  if (dinv.empty()) {
+    vcopy(vpu, r, z, strip);
+    return;
+  }
+  check_len(dinv.size(), r.size(), "vjacobi_apply");
+  check_len(z.size(), r.size(), "vjacobi_apply");
+  const int n = static_cast<int>(r.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec vd = vpu.vload(dinv.data() + i);
+      const sim::Vec vr = vpu.vload(r.data() + i);
+      vpu.vstore(z.data() + i, vpu.vmul(vd, vr));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double di = vpu.sload(dinv.data() + i);
+      const double ri = vpu.sload(r.data() + i);
+      vpu.sstore(z.data() + i, vpu.smul(di, ri));
+      vpu.sarith(1);
+    }
+  }
+}
+
+void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
+                   std::span<double> out, int strip) {
+  const int n = static_cast<int>(out.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec v = vpu.vload_strided(base + stride * i, stride);
+      vpu.vstore(out.data() + i, v);
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      vpu.sstore(out.data() + i, vpu.sload(base + stride * i));
+      vpu.sarith(1);
+    }
+  }
+}
+
+SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
+                std::span<double> x, const SolveOptions& opts, int strip) {
+  const std::size_t n = b.size();
+  if (static_cast<int>(n) != a.rows() || x.size() != n) {
+    throw std::invalid_argument("vcg: dimension mismatch");
+  }
+  SolveReport rep;
+  const double bnorm = vnorm2(vpu, b, strip);
+  if (bnorm == 0.0) {
+    vfill(vpu, x, 0.0, strip);
+    rep.converged = true;
+    return rep;
+  }
+  std::vector<double> dinv;
+  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+  const EllMatrix ell(a);
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  vspmv(vpu, ell, x, r, strip);
+  vsub(vpu, b, r, r, strip);
+  vjacobi_apply(vpu, dinv, r, z, strip);
+  vcopy(vpu, z, p, strip);
+  double rz = vdot(vpu, r, z, strip);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    vspmv(vpu, ell, p, ap, strip);
+    const double pap = vdot(vpu, p, ap, strip);
+    if (pap == 0.0) {
+      return vbreakdown_exit(vpu, rep, r, bnorm, opts, strip);
+    }
+    const double alpha = vpu.sdiv(rz, pap);
+    vaxpy(vpu, alpha, p, x, strip);
+    vaxpy(vpu, -alpha, ap, r, strip);
+    const double rel = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+    rep.history.push_back(rel);
+    rep.iterations = it + 1;
+    rep.residual = rel;
+    if (rel < opts.rel_tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    vjacobi_apply(vpu, dinv, r, z, strip);
+    const double rz_new = vdot(vpu, r, z, strip);
+    const double beta = vpu.sdiv(rz_new, rz);
+    rz = rz_new;
+    vxpby(vpu, z, beta, p, strip);
+  }
+  return rep;
+}
+
+SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
+                      std::span<const double> b, std::span<double> x,
+                      const SolveOptions& opts, int strip) {
+  const std::size_t n = b.size();
+  if (static_cast<int>(n) != a.rows() || x.size() != n) {
+    throw std::invalid_argument("vbicgstab: dimension mismatch");
+  }
+  SolveReport rep;
+  const double bnorm = vnorm2(vpu, b, strip);
+  if (bnorm == 0.0) {
+    vfill(vpu, x, 0.0, strip);
+    rep.converged = true;
+    return rep;
+  }
+  std::vector<double> dinv;
+  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+  const EllMatrix ell(a);
+
+  std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n);
+  std::vector<double> phat(n), shat(n);
+  vspmv(vpu, ell, x, r, strip);
+  vsub(vpu, b, r, r, strip);
+  vcopy(vpu, r, r0, strip);
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    double rho_new = vdot(vpu, r0, r, strip);
+    bool restart = it == 0;
+    if (rho_new == 0.0) {
+      // serious breakdown: restart with r0 = r (see krylov.cpp)
+      vcopy(vpu, r, r0, strip);
+      rho_new = vdot(vpu, r, r, strip);
+      if (rho_new == 0.0) {
+        return vbreakdown_exit(vpu, rep, r, bnorm, opts, strip);
+      }
+      restart = true;
+    }
+    if (restart) {
+      vcopy(vpu, r, p, strip);
+    } else {
+      const double beta =
+          vpu.smul(vpu.sdiv(rho_new, rho), vpu.sdiv(alpha, omega));
+      bicgstab_p_update(vpu, r, beta, omega, v, p, strip);
+    }
+    rho = rho_new;
+    vjacobi_apply(vpu, dinv, p, phat, strip);
+    vspmv(vpu, ell, phat, v, strip);
+    const double r0v = vdot(vpu, r0, v, strip);
+    if (r0v == 0.0) {
+      return vbreakdown_exit(vpu, rep, r, bnorm, opts, strip);
+    }
+    alpha = vpu.sdiv(rho, r0v);
+    axpby_into(vpu, r, -alpha, v, s, strip);
+    const double srel = vpu.sdiv(vnorm2(vpu, s, strip), bnorm);
+    if (srel < opts.rel_tolerance) {
+      vaxpy(vpu, alpha, phat, x, strip);
+      rep.iterations = it + 1;
+      rep.residual = srel;
+      rep.history.push_back(srel);
+      rep.converged = true;
+      return rep;
+    }
+    vjacobi_apply(vpu, dinv, s, shat, strip);
+    vspmv(vpu, ell, shat, t, strip);
+    const double tt = vdot(vpu, t, t, strip);
+    if (tt == 0.0) {
+      // apply the valid half-step so x matches the reported residual s
+      vaxpy(vpu, alpha, phat, x, strip);
+      return vbreakdown_exit(vpu, rep, s, bnorm, opts, strip);
+    }
+    omega = vpu.sdiv(vdot(vpu, t, s, strip), tt);
+    vaxpy(vpu, alpha, phat, x, strip);
+    vaxpy(vpu, omega, shat, x, strip);
+    axpby_into(vpu, s, -omega, t, r, strip);
+    const double rel = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+    rep.history.push_back(rel);
+    rep.iterations = it + 1;
+    rep.residual = rel;
+    if (rel < opts.rel_tolerance) {
+      rep.converged = true;
+      return rep;
+    }
+    if (omega == 0.0) break;
+  }
+  return rep;
+}
+
+}  // namespace vecfd::solver

@@ -1,0 +1,122 @@
+// vecfd::solver — Vpu-instrumented long-vector solve kernels.
+//
+// The paper's co-design argument is made on indexed-access kernels; the
+// canonical one in CFD is the SpMV inside the Krylov solve (§2.3: "assembly
+// and algebraic linear solver").  This layer re-implements the solver side
+// of krylov.h against the sim::Vpu instruction API, so the solve gets the
+// same per-phase counters (Mv, Av, vCPI, AVL, Ev, cache misses) as the
+// eight assembly phases:
+//
+//   * SpMV runs on a column-major padded ELL mirror of the CSR operator —
+//     the classic long-vector layout: each of the `width` slabs is walked
+//     with a unit-stride `vload` of values, a unit-stride `vload_i32` of
+//     column indices and a `vgather` of x[cols[k]], accumulated with `vfma`
+//     across a strip of rows.  Every instruction runs at the strip's vector
+//     length, so AVL approaches vlmax for large strips.
+//   * The BLAS-1 kernels (dot, norm2, axpy, ...) strip-mine the same way.
+//   * vcg / vbicgstab mirror the host cg / bicgstab step for step
+//     (including the breakdown-reporting contract of krylov.h) and agree
+//     with them to solver tolerance.
+//
+// Every kernel takes a `strip` parameter — the requested software strip
+// length, Alya's VECTOR_SIZE applied to the solve; <= 0 means vlmax.  On a
+// scalar-only machine configuration (vector_enabled == false) each kernel
+// falls back to an instrumented scalar loop computing identical values, so
+// the scalar/vector comparison the paper draws for assembly extends to the
+// solve.
+//
+// Operator setup (the ELL mirror, the Jacobi diagonal) is host-side and
+// uncounted: the co-design analysis targets the iteration loop, and in a
+// time-stepping code the setup amortizes over many solves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/vpu.h"
+#include "solver/csr.h"
+#include "solver/krylov.h"
+
+namespace vecfd::solver {
+
+/// Column-major padded ELL mirror of a CsrMatrix.
+///
+/// Rows shorter than `width` are padded with (own-row index, 0.0) entries:
+/// the gather stays in-bounds and the fma adds exactly 0·x[r], so vspmv
+/// reproduces CsrMatrix::spmv's per-row summation order and values.
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+  explicit EllMatrix(const CsrMatrix& a);
+
+  int rows() const { return rows_; }
+  int width() const { return width_; }  ///< max nonzeros per row
+
+  /// Slab j (j in [0, width)): entry j of every row, row-contiguous.
+  const double* vals(int j) const {
+    return vals_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+  const std::int32_t* cols(int j) const {
+    return cols_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+
+ private:
+  int rows_ = 0;
+  int width_ = 0;
+  std::vector<double> vals_;        // [width][rows]
+  std::vector<std::int32_t> cols_;  // [width][rows]
+};
+
+// ---- instrumented kernels ---------------------------------------------
+// All lengths must match; dimension mismatches throw std::invalid_argument.
+
+/// y = A·x through the Vpu (unit-stride slab loads + vgather + vfma).
+void vspmv(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
+           std::span<double> y, int strip = 0);
+
+double vdot(sim::Vpu& vpu, std::span<const double> a,
+            std::span<const double> b, int strip = 0);
+double vnorm2(sim::Vpu& vpu, std::span<const double> a, int strip = 0);
+
+/// y += alpha·x
+void vaxpy(sim::Vpu& vpu, double alpha, std::span<const double> x,
+           std::span<double> y, int strip = 0);
+
+/// y = x + beta·y (the CG direction update)
+void vxpby(sim::Vpu& vpu, std::span<const double> x, double beta,
+           std::span<double> y, int strip = 0);
+
+/// out = a - b (out may alias a or b)
+void vsub(sim::Vpu& vpu, std::span<const double> a, std::span<const double> b,
+          std::span<double> out, int strip = 0);
+
+void vcopy(sim::Vpu& vpu, std::span<const double> src, std::span<double> dst,
+           int strip = 0);
+
+void vfill(sim::Vpu& vpu, std::span<double> dst, double value, int strip = 0);
+
+/// z = dinv ⊙ r (Jacobi application); an empty dinv degrades to a copy.
+void vjacobi_apply(sim::Vpu& vpu, std::span<const double> dinv,
+                   std::span<const double> r, std::span<double> z,
+                   int strip = 0);
+
+/// out[i] = base[i·stride] — strided extraction of one field component from
+/// an interleaved [node·kDim] array (the RHS slice feeding the solve).
+void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
+                   std::span<double> out, int strip = 0);
+
+// ---- instrumented Krylov solvers --------------------------------------
+// Step-for-step mirrors of krylov.h's cg / bicgstab, including the Jacobi
+// preconditioner and the breakdown-reporting contract.  The CSR operator is
+// mirrored into an EllMatrix internally.
+
+SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
+                std::span<double> x, const SolveOptions& opts = {},
+                int strip = 0);
+
+SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
+                      std::span<const double> b, std::span<double> x,
+                      const SolveOptions& opts = {}, int strip = 0);
+
+}  // namespace vecfd::solver

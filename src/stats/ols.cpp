@@ -93,7 +93,14 @@ OlsResult ols_fit(const std::vector<std::vector<double>>& xs,
     const double d = y[r] - ybar;
     res.ss_tot += d * d;
   }
-  res.r_squared = res.ss_tot > 0.0 ? 1.0 - res.ss_res / res.ss_tot : 1.0;
+  // Degenerate constant-y sample (ss_tot == 0): R² = 1 only if the fit is
+  // actually perfect; a nonzero residual on a constant target is the worst
+  // possible fit, not the best, so report 0 instead of the old 1.0.
+  if (res.ss_tot > 0.0) {
+    res.r_squared = 1.0 - res.ss_res / res.ss_tot;
+  } else {
+    res.r_squared = res.ss_res > 0.0 ? 0.0 : 1.0;
+  }
   return res;
 }
 

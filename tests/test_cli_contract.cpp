@@ -13,6 +13,8 @@
 #include <sstream>
 #include <string>
 
+#include "sanitizer_support.h"
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -52,6 +54,11 @@ TEST(CliContract, DefaultRunExitsZero) {
   EXPECT_EQ(exit_code("--mesh 4,4,2"), 0);
 }
 
+TEST(CliContract, SolveRunExitsZeroAndImpliesSemiScheme) {
+  EXPECT_EQ(exit_code("--solve --mesh 4,4,2 --vs 16"), 0);
+  EXPECT_EQ(exit_code("--solve --scheme semi --mesh 4,4,2 --vs 16"), 0);
+}
+
 TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
   const struct {
     const char* args;
@@ -67,6 +74,7 @@ TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
       {"--jobs -2", "--jobs"},
       {"--frobnicate", "--frobnicate"},
       {"--machine", "--machine"},  // missing value
+      {"--solve --scheme explicit", "--solve"},  // solve needs a matrix
   };
   for (const auto& c : cases) {
     EXPECT_NE(exit_code(c.args), 0) << c.args;
@@ -76,6 +84,7 @@ TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
 }
 
 TEST(CliContract, ParallelSweepCsvIsByteIdenticalToSerial) {
+  VECFD_SKIP_UNDER_ASAN();
   const fs::path dir = fs::temp_directory_path();
   const fs::path serial = dir / "vecfd_cli_serial.csv";
   const fs::path parallel = dir / "vecfd_cli_parallel.csv";

@@ -42,8 +42,43 @@ TEST(Csv, HeaderAndRowHaveSameArity) {
   const auto h = split(header);
   const auto r = split(row);
   EXPECT_EQ(h.size(), r.size());
-  // 15 scalar columns + 8 phases x 3
-  EXPECT_EQ(h.size(), 15u + 24u);
+  // 15 scalar columns + 9 phases x 3 (8 assembly + the phase-9 solve),
+  // both derived from miniapp::kNumInstrumentedPhases
+  EXPECT_EQ(h.size(), 15u + 27u);
+  EXPECT_NE(header.find("ph9_cycles"), std::string::npos);
+}
+
+TEST(Csv, SolveRunPopulatesPhase9Columns) {
+  Fixture f;
+  const Experiment ex(f.mesh, f.state);
+  vecfd::miniapp::MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.scheme = vecfd::fem::Scheme::kSemiImplicit;
+
+  // without the solve the ph9 columns are zero...
+  const Measurement off = ex.run(vecfd::platforms::riscv_vec(), cfg);
+  std::ostringstream os_off;
+  vecfd::core::write_measurement_row(os_off, off);
+  const auto r_off = split(os_off.str());
+  ASSERT_EQ(r_off.size(), 15u + 27u);
+  EXPECT_DOUBLE_EQ(std::stod(r_off[15 + 24]), 0.0);  // ph9_cycles
+
+  // ...and a --solve run fills them, same arity as the header
+  cfg.run_solve = true;
+  const Measurement on = ex.run(vecfd::platforms::riscv_vec(), cfg);
+  std::ostringstream os_on;
+  vecfd::core::write_csv_header(os_on);
+  vecfd::core::write_measurement_row(os_on, on);
+  std::istringstream is(os_on.str());
+  std::string header;
+  std::string row;
+  std::getline(is, header);
+  std::getline(is, row);
+  const auto h = split(header);
+  const auto r_on = split(row);
+  EXPECT_EQ(h.size(), r_on.size());
+  EXPECT_GT(std::stod(r_on[15 + 24]), 0.0);                    // ph9_cycles
+  EXPECT_NEAR(std::stod(r_on[15 + 26]), on.phase_metrics[9].avl, 1e-9);
 }
 
 TEST(Csv, RowCarriesIdentityAndMetrics) {

@@ -3,6 +3,7 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "sanitizer_support.h"
 
 namespace {
 
@@ -89,6 +90,59 @@ TEST(Experiment, SweepOptLevels) {
   EXPECT_EQ(ms[1].app.opt, OptLevel::kVec1);
   // VEC1 (cumulative: includes IVEC2) must not be slower overall
   EXPECT_LT(ms[1].total_cycles, ms[0].total_cycles);
+}
+
+TEST(Experiment, SolveRunRecordsPhase9) {
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 16;
+  cfg.scheme = vecfd::fem::Scheme::kSemiImplicit;
+  cfg.run_solve = true;
+  const Measurement m = ex.run(riscv_vec(), cfg);
+
+  ASSERT_TRUE(m.has_solve);
+  EXPECT_TRUE(m.solve.converged) << "res=" << m.solve.residual;
+  EXPECT_GT(m.solve.iterations, 0);
+  // the solve is attributed to phase 9 with live vector counters
+  const int p = vecfd::miniapp::kSolvePhase;
+  EXPECT_GT(m.phase_cycles(p), 0.0);
+  EXPECT_GT(m.phase[p].vector_instrs(), 0u);
+  EXPECT_GT(m.phase[p].vmem_indexed_instrs, 0u);  // the vgather SpMV
+  EXPECT_GT(m.phase_metrics[p].avl, 0.0);
+  // phase shares (1..9) still account for every cycle
+  double sum = 0.0;
+  for (int q = 1; q <= vecfd::miniapp::kNumInstrumentedPhases; ++q) {
+    sum += m.phase_share(q);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Experiment, SolveWithoutMatrixThrows) {
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.run_solve = true;  // explicit scheme: nothing to solve
+  EXPECT_THROW(ex.run(riscv_vec(), cfg), std::invalid_argument);
+}
+
+TEST(Experiment, SolveSweepIsDeterministicAcrossJobs) {
+  VECFD_SKIP_UNDER_ASAN();
+  Fixture& f = fixture();
+  const Experiment ex(f.mesh, f.state);
+  MiniAppConfig cfg;
+  cfg.scheme = vecfd::fem::Scheme::kSemiImplicit;
+  cfg.run_solve = true;
+  const int sizes[] = {8, 16};
+  const auto serial = ex.sweep_vector_sizes(riscv_vec(), cfg, sizes, 1);
+  const auto parallel = ex.sweep_vector_sizes(riscv_vec(), cfg, sizes, 2);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].total_cycles, parallel[i].total_cycles);
+    EXPECT_EQ(serial[i].phase[9].vl_sum, parallel[i].phase[9].vl_sum);
+    EXPECT_EQ(serial[i].solve.iterations, parallel[i].solve.iterations);
+    EXPECT_EQ(serial[i].solve.residual, parallel[i].solve.residual);
+  }
 }
 
 TEST(Experiment, RhsCarriedInMeasurement) {

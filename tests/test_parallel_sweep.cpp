@@ -9,6 +9,7 @@
 
 #include "core/csv.h"
 #include "core/experiment.h"
+#include "sanitizer_support.h"
 
 namespace {
 
@@ -40,6 +41,7 @@ std::string csv_of(const std::vector<Measurement>& ms) {
 constexpr int kSizes[] = {8, 16, 32};
 
 TEST(ParallelSweep, GridMatchesSerialByteForByte) {
+  VECFD_SKIP_UNDER_ASAN();
   Fixture& f = fixture();
   const Experiment ex(f.mesh, f.state);
   MiniAppConfig cfg;
@@ -100,6 +102,7 @@ TEST(ParallelSweep, RunPointsPreservesPointOrder) {
 }
 
 TEST(ParallelSweep, SizeAndLevelSweepsMatchSingleRuns) {
+  VECFD_SKIP_UNDER_ASAN();
   Fixture& f = fixture();
   const Experiment ex(f.mesh, f.state);
   MiniAppConfig cfg;

@@ -64,7 +64,8 @@ TEST(TimingModel, SxAuroraFmaGraduatesIn8Cycles) {
 }
 
 TEST(TimingModel, DivCostsMoreThanMul) {
-  const TimingModel t(riscv_vec());
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
   EXPECT_GT(t.varith_cycles(256, ArithOp::kDivSqrt),
             2.0 * t.varith_cycles(256, ArithOp::kSimple));
 }
@@ -77,13 +78,15 @@ TEST(TimingModel, UnitStrideMemoryFollowsBandwidth) {
 }
 
 TEST(TimingModel, IndexedSlowerThanStridedSlowerThanUnit) {
-  const TimingModel t(riscv_vec());
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
   EXPECT_GT(t.vmem_indexed_cycles(256), t.vmem_strided_cycles(256));
   EXPECT_GT(t.vmem_strided_cycles(256), t.vmem_unit_cycles(256));
 }
 
 TEST(TimingModel, LatencyMonotoneInVl) {
-  const TimingModel t(riscv_vec());
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
   double prev_arith = 0.0;
   double prev_mem = 0.0;
   for (int vl = 8; vl <= 256; vl += 8) {
@@ -101,7 +104,8 @@ TEST(TimingModel, LatencyMonotoneInVl) {
 class PerElementCost : public ::testing::TestWithParam<int> {};
 
 TEST_P(PerElementCost, AmortizesStartup) {
-  const TimingModel t(riscv_vec());
+  const MachineConfig m = riscv_vec();
+  const TimingModel t(m);
   const int vl = GetParam();
   const double per_small = t.varith_cycles(vl) / vl;
   const double per_large = t.varith_cycles(2 * vl) / (2 * vl);

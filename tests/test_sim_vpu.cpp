@@ -204,7 +204,11 @@ TEST(Vpu, PhaseMisuseThrows) {
   v.profiler().end(1);
   EXPECT_THROW(v.profiler().end(1), std::logic_error);
   EXPECT_THROW(v.profiler().begin(0), std::out_of_range);
-  EXPECT_THROW(v.profiler().begin(9), std::out_of_range);
+  // phase 9 (the Krylov solve) is in range by default; 10 is not
+  v.profiler().begin(vecfd::sim::kDefaultNumPhases);
+  v.profiler().end(vecfd::sim::kDefaultNumPhases);
+  EXPECT_THROW(v.profiler().begin(vecfd::sim::kDefaultNumPhases + 1),
+               std::out_of_range);
 }
 
 TEST(Vpu, ResetClearsEverything) {

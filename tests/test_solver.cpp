@@ -173,6 +173,80 @@ TEST(Bicgstab, HandlesIdentityInOneIteration) {
   for (int i = 0; i < 5; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
 }
 
+// ---- breakdown-reporting contract (krylov.h) ---------------------------
+// A breakdown exit must leave rep.residual equal to the true relative
+// residual of the returned x.  The old code `break`-ed without updating it,
+// so a first-iteration breakdown returned residual == 0 with
+// converged == false — a value that reads as fully converged.
+
+/// diag(1, -1): indefinite, so CG's p·Ap vanishes on the first iteration
+/// when preconditioned (z = [1, -1], Ap = [1, 1]).
+CsrMatrix indefinite2x2() {
+  CsrMatrix a(std::vector<std::vector<int>>(2));
+  a.add(0, 0, 1.0);
+  a.add(1, 1, -1.0);
+  return a;
+}
+
+TEST(Cg, BreakdownReportsTruthfulResidual) {
+  CsrMatrix a = indefinite2x2();
+  std::vector<double> b{1.0, 1.0};
+  std::vector<double> x(2, 0.0);
+  const auto rep = cg(a, b, x);  // p·Ap == 0 immediately
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.iterations, 0);
+  // nothing was solved: the true relative residual is ‖b‖/‖b‖ = 1
+  EXPECT_NEAR(rep.residual, 1.0, 1e-14);
+  ASSERT_FALSE(rep.history.empty());
+  EXPECT_NEAR(rep.history.back(), 1.0, 1e-14);
+}
+
+TEST(Cg, ExactInitialGuessReportsConvergence) {
+  CsrMatrix a = poisson1d(8);
+  std::vector<double> xref(8, 1.0);
+  std::vector<double> b(8);
+  a.spmv(xref, b);
+  std::vector<double> x = xref;  // r = 0 → rz = 0 → pap = 0 breakdown path
+  const auto rep = cg(a, b, x);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_DOUBLE_EQ(rep.residual, 0.0);
+}
+
+TEST(Bicgstab, R0vBreakdownReportsTruthfulResidual) {
+  CsrMatrix a = indefinite2x2();
+  std::vector<double> b{1.0, 1.0};
+  std::vector<double> x(2, 0.0);
+  // unpreconditioned: v = A·r = [1, -1] ⟂ r0 = [1, 1] → r0·v == 0
+  const auto rep = bicgstab(a, b, x, {.jacobi_precondition = false});
+  EXPECT_FALSE(rep.converged);
+  EXPECT_NEAR(rep.residual, 1.0, 1e-14);
+  ASSERT_FALSE(rep.history.empty());
+  EXPECT_NEAR(rep.history.back(), 1.0, 1e-14);
+}
+
+TEST(Bicgstab, SingularOperatorBreakdownReportsTruthfulResidual) {
+  // 2x2 zero matrix (pattern holds the diagonal, values stay 0): v = A·p
+  // is identically zero, so r0·v == 0 with an untouched residual of 1.
+  CsrMatrix a(std::vector<std::vector<int>>(2));
+  std::vector<double> b{3.0, 4.0};
+  std::vector<double> x(2, 0.0);
+  const auto rep = bicgstab(a, b, x, {.jacobi_precondition = false});
+  EXPECT_FALSE(rep.converged);
+  EXPECT_NEAR(rep.residual, 1.0, 1e-14);
+}
+
+TEST(Bicgstab, ExactInitialGuessReportsConvergence) {
+  CsrMatrix a = poisson1d(4);
+  std::vector<double> xref{1.0, -2.0, 0.5, 3.0};
+  std::vector<double> b(4);
+  a.spmv(xref, b);
+  std::vector<double> x = xref;  // r = 0 → failed ρ restart breakdown path
+  const auto rep = bicgstab(a, b, x);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_DOUBLE_EQ(rep.residual, 0.0);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], xref[i]);
+}
+
 TEST(Jacobi, RejectsZeroDiagonal) {
   std::vector<std::vector<int>> adj(2);
   CsrMatrix a(adj);  // zero values on the diagonal

@@ -73,7 +73,22 @@ TEST(Ols, ConstantTargetHasUnitR2) {
   std::vector<double> x{1, 2, 3, 4};
   std::vector<double> y{5, 5, 5, 5};
   const auto r = ols_fit({x}, y);
-  EXPECT_DOUBLE_EQ(r.r_squared, 1.0);  // ss_tot = 0 convention
+  // ss_tot == 0 AND the fit is exact (ss_res == 0): R² = 1 is earned
+  EXPECT_DOUBLE_EQ(r.ss_res, 0.0);
+  EXPECT_DOUBLE_EQ(r.r_squared, 1.0);
+}
+
+TEST(Ols, ConstantTargetWithImperfectFitGetsZeroR2) {
+  // y is exactly constant (ss_tot == 0 in exact FP) but the huge-scale
+  // regressor makes the normal-equation solve round: the fitted line
+  // misses the constant, ss_res > 0, and the old `ss_tot == 0 → R² = 1`
+  // convention reported a perfect fit for a visibly bad one.
+  std::vector<double> x{1.3e8, 2.7e8, 4.1e8, 8.9e8};
+  std::vector<double> y{7.0, 7.0, 7.0, 7.0};
+  const auto r = ols_fit({x}, y);
+  EXPECT_DOUBLE_EQ(r.ss_tot, 0.0);
+  ASSERT_GT(r.ss_res, 0.0);
+  EXPECT_DOUBLE_EQ(r.r_squared, 0.0);
 }
 
 TEST(Summary, MeanVariance) {

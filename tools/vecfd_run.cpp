@@ -6,6 +6,7 @@
 // findings, or a Paraver trace pair (.prv/.pcf).
 //
 //   vecfd-run --sweep --csv sweep.csv
+//   vecfd-run --sweep --solve --csv sweep.csv   # assembly + phase-9 solve
 //   vecfd-run --machine sx-aurora --opt ivec2 --vs 240 --advise
 //   vecfd-run --opt vec2 --vs 240 --prv trace --remarks
 //
@@ -44,6 +45,8 @@ struct Options {
   int vs = 240;
   int jobs = 0;  ///< sweep worker threads; 0 = all cores, 1 = serial
   bool sweep = false;
+  bool solve = false;
+  bool scheme_set = false;  ///< --scheme given explicitly
   bool advise = false;
   bool remarks = false;
   int nx = 16, ny = 20, nz = 24;
@@ -61,6 +64,8 @@ void usage(std::ostream& os) {
         "  --vs N        VECTOR_SIZE           (default 240)\n"
         "  --sweep       run the paper's full grid {16,64,128,240,256,512}\n"
         "                x {vanilla,vec2,ivec2,vec1} in parallel\n"
+        "  --solve       chain the instrumented Krylov solve as phase 9\n"
+        "                (implies --scheme semi)\n"
         "  --jobs N      sweep worker threads (default 0 = all cores;\n"
         "                1 = serial)\n"
         "  --mesh X,Y,Z  elements per axis     (default 16,20,24)\n"
@@ -127,6 +132,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return fail(a, "missing value");
       opt.scheme = v;
+      opt.scheme_set = true;
     } else if (a == "--vs") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -147,6 +153,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.jobs = *n;
     } else if (a == "--sweep") {
       opt.sweep = true;
+    } else if (a == "--solve") {
+      opt.solve = true;
     } else if (a == "--mesh") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -186,7 +194,9 @@ void print_measurement(const core::Measurement& m) {
             << "  Ev=" << core::fmt_pct(m.overall.ev) << '\n';
   core::Table t({"phase", "cycles", "share", "Mv", "AVL",
                  "L1 DCM/ki"});
-  for (int p = 1; p <= 8; ++p) {
+  const int last_phase =
+      m.has_solve ? miniapp::kNumInstrumentedPhases : miniapp::kNumPhases;
+  for (int p = 1; p <= last_phase; ++p) {
     t.add_row({std::to_string(p), core::fmt(m.phase_cycles(p), 0),
                core::fmt_pct(m.phase_share(p)),
                core::fmt_pct(m.phase_metrics[p].mv),
@@ -194,6 +204,13 @@ void print_measurement(const core::Measurement& m) {
                core::fmt(metrics::l1_dcm_per_kilo_instr(m.phase[p]), 1)});
   }
   std::cout << t.to_string();
+  if (m.has_solve) {
+    std::cout << "  solve (phase 9): "
+              << (m.solve.converged ? "converged" : "NOT converged") << " in "
+              << m.solve.iterations
+              << " iters, residual=" << core::fmt(m.solve.residual, 12)
+              << '\n';
+  }
 }
 
 }  // namespace
@@ -217,6 +234,14 @@ int main(int argc, char** argv) {
     fail("--scheme", "unknown scheme '" + opts.scheme + "'");
     return 2;
   }
+  if (opts.solve && !opts.scheme_set) {
+    opts.scheme = "semi";  // --solve implies the semi-implicit scheme
+  }
+  if (opts.solve && opts.scheme != "semi") {
+    fail("--solve", "requires --scheme semi (the explicit scheme assembles "
+                    "no matrix to solve)");
+    return 2;
+  }
 
   const fem::Mesh mesh({.nx = opts.nx, .ny = opts.ny, .nz = opts.nz});
   const fem::State state(mesh);
@@ -226,6 +251,7 @@ int main(int argc, char** argv) {
   cfg.opt = *level;
   cfg.scheme = opts.scheme == "semi" ? fem::Scheme::kSemiImplicit
                                      : fem::Scheme::kExplicit;
+  cfg.run_solve = opts.solve;
 
   std::vector<core::Measurement> ms;
   if (opts.sweep) {
