@@ -1,0 +1,81 @@
+// Transient Taylor–Green vortex — the verifiable time loop, end to end.
+//
+// Runs the decaying-vortex scenario (the one with a closed-form
+// Navier–Stokes solution) through miniapp::TimeLoop on the RISC-V VEC
+// machine at two mesh resolutions and prints, per step, the Krylov work
+// and the projected divergence — then the L2 error against the analytic
+// solution, demonstrating the convergence the test suite asserts.
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "miniapp/time_loop.h"
+#include "platforms/platforms.h"
+
+using namespace vecfd;
+
+namespace {
+
+double run_once(int nelem, bool print_steps) {
+  miniapp::Scenario s = miniapp::scenario_taylor_green();
+  s.mesh.nx = s.mesh.ny = s.mesh.nz = nelem;
+  s.physics.dt = 0.005;
+  const fem::Mesh mesh(s.mesh);
+
+  miniapp::TimeLoopConfig cfg;
+  cfg.steps = 8;
+  cfg.vector_size = 240;
+  miniapp::TimeLoop loop(mesh, s, cfg);
+  sim::Vpu vpu(platforms::riscv_vec());
+  const miniapp::TimeLoopResult res = loop.run(vpu);
+
+  if (print_steps) {
+    core::Table t({"t", "BiCGStab iters (9a/9b/9c)", "CG iters", "div u*",
+                   "div u^{n+1}"});
+    for (const auto& st : res.steps) {
+      t.add_row({core::fmt(st.time, 3),
+                 std::to_string(st.momentum[0].iterations) + "/" +
+                     std::to_string(st.momentum[1].iterations) + "/" +
+                     std::to_string(st.momentum[2].iterations),
+                 std::to_string(st.pressure.iterations),
+                 core::fmt(st.div_before, 6), core::fmt(st.div_after, 6)});
+    }
+    std::cout << t.to_string();
+    const double solve_share =
+        (res.phase[miniapp::kSolvePhase].total_cycles() +
+         res.phase[miniapp::kPressurePhase].total_cycles() +
+         res.phase[miniapp::kCorrectionPhase].total_cycles()) /
+        res.cycles;
+    std::cout << "solve stage (phases 9-11): "
+              << core::fmt_pct(solve_share) << " of "
+              << core::fmt(res.cycles, 0) << " cycles\n\n";
+  }
+
+  double num = 0.0;
+  double den = 0.0;
+  for (int n = 0; n < mesh.num_nodes(); ++n) {
+    const auto e = s.analytic(mesh, n, loop.time());
+    for (int d = 0; d < fem::kDim; ++d) {
+      const double diff = loop.state().velocity(n, d) - e[d];
+      num += diff * diff;
+      den += e[d] * e[d];
+    }
+  }
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << core::banner("Transient Taylor-Green vortex",
+                            "semi-implicit projection loop vs the analytic "
+                            "solution");
+  const double err_coarse = run_once(4, /*print_steps=*/true);
+  const double err_fine = run_once(8, /*print_steps=*/false);
+  std::cout << "relative L2 velocity error at t = 0.04:\n"
+            << "  4x4x4 mesh: " << core::fmt(err_coarse, 6) << '\n'
+            << "  8x8x8 mesh: " << core::fmt(err_fine, 6) << "  ("
+            << core::fmt(err_fine / err_coarse, 2)
+            << "x — the loop converges under refinement)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/campaign.h"
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "sim/vpu.h"
+
+namespace vecfd::core {
+
+Campaign::Campaign(std::vector<miniapp::Scenario> scenarios)
+    : scenarios_(std::move(scenarios)) {
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("Campaign: no scenarios");
+  }
+  meshes_.reserve(scenarios_.size());
+  for (const miniapp::Scenario& s : scenarios_) {
+    meshes_.emplace_back(s.mesh);
+  }
+}
+
+std::vector<CampaignPoint> Campaign::grid(
+    std::span<const sim::MachineConfig> machines, std::span<const int> sizes,
+    int steps) const {
+  std::vector<CampaignPoint> points;
+  points.reserve(scenarios_.size() * machines.size() * sizes.size());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    for (const sim::MachineConfig& m : machines) {
+      for (int vs : sizes) {
+        CampaignPoint p;
+        p.scenario = static_cast<int>(s);
+        p.machine = m;
+        p.vector_size = vs;
+        p.steps = steps;
+        points.push_back(p);
+      }
+    }
+  }
+  return points;
+}
+
+CampaignRun Campaign::run(const CampaignPoint& point) const {
+  if (point.scenario < 0 ||
+      point.scenario >= static_cast<int>(scenarios_.size())) {
+    throw std::out_of_range("Campaign::run: bad scenario index");
+  }
+  const miniapp::Scenario& scen =
+      scenarios_[static_cast<std::size_t>(point.scenario)];
+  miniapp::TimeLoopConfig cfg;
+  cfg.steps = point.steps;
+  cfg.vector_size = point.vector_size;
+  cfg.opt = point.opt;
+
+  miniapp::TimeLoop loop(mesh(point.scenario), scen, cfg);
+  sim::Vpu vpu(point.machine);
+
+  CampaignRun run;
+  run.scenario = scen.name;
+  run.point = point;
+  run.loop = loop.run(vpu);
+  run.total_cycles = run.loop.cycles;
+  run.overall = metrics::compute(run.loop.total, point.machine.vlmax);
+  for (int p = 0; p <= miniapp::kNumInstrumentedPhases; ++p) {
+    run.phase_metrics[static_cast<std::size_t>(p)] = metrics::compute(
+        run.loop.phase[static_cast<std::size_t>(p)], point.machine.vlmax);
+  }
+  for (const miniapp::StepReport& s : run.loop.steps) {
+    for (const solver::SolveReport& m : s.momentum) {
+      run.momentum_iterations += m.iterations;
+    }
+    run.pressure_iterations += s.pressure.iterations;
+  }
+  if (!run.loop.steps.empty()) {
+    run.final_divergence = run.loop.steps.back().div_after;
+  }
+  run.all_converged = run.loop.all_converged;
+  return run;
+}
+
+std::vector<CampaignRun> Campaign::run_points(
+    std::span<const CampaignPoint> points, int jobs) const {
+  std::vector<CampaignRun> out(points.size());
+  parallel_for_index(points.size(), jobs, [&](std::size_t i) {
+    out[i] = run(points[i]);
+  });
+  return out;
+}
+
+}  // namespace vecfd::core

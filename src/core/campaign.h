@@ -1,0 +1,91 @@
+// vecfd::core — transient co-design campaigns.
+//
+// The assembly study sweeps VECTOR_SIZE × optimization level on one machine
+// (core/experiment.h); the transient study batches whole time-loop runs
+// over scenario × platform × VECTOR_SIZE, on the same work-stealing fan-out
+// (core/parallel.h).  Every campaign point owns its TimeLoop (scenario
+// state) and Vpu; the per-scenario meshes are built once and shared
+// read-only, so parallel campaigns return results in deterministic point
+// order exactly like the assembly sweeps.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "metrics/metrics.h"
+#include "miniapp/scenarios.h"
+#include "miniapp/time_loop.h"
+#include "sim/machine_config.h"
+
+namespace vecfd::core {
+
+/// One transient campaign point: which scenario (index into the campaign's
+/// scenario list), which machine, and the loop shape.
+struct CampaignPoint {
+  int scenario = 0;
+  sim::MachineConfig machine;
+  int vector_size = 240;
+  int steps = 5;
+  miniapp::OptLevel opt = miniapp::OptLevel::kVec1;
+};
+
+/// One executed campaign point: the full TimeLoopResult plus the §2.2
+/// metrics per phase (1..kNumInstrumentedPhases) and a convergence digest.
+struct CampaignRun {
+  std::string scenario;
+  CampaignPoint point;
+  miniapp::TimeLoopResult loop;
+
+  double total_cycles = 0.0;
+  metrics::VectorMetrics overall;
+  std::array<metrics::VectorMetrics, miniapp::kNumInstrumentedPhases + 1>
+      phase_metrics{};
+
+  int momentum_iterations = 0;  ///< Σ over steps and components (phase 9)
+  int pressure_iterations = 0;  ///< Σ over steps (phase 10)
+  double final_divergence = 0.0;  ///< div_after of the last step
+  bool all_converged = false;
+
+  double phase_cycles(int p) const {
+    return loop.phase[static_cast<std::size_t>(p)].total_cycles();
+  }
+};
+
+class Campaign {
+ public:
+  /// Builds one mesh per scenario up front (campaigns share them
+  /// read-only).  Callers wanting refined/smaller meshes adjust
+  /// Scenario::mesh before constructing the Campaign.
+  explicit Campaign(std::vector<miniapp::Scenario> scenarios =
+                        miniapp::all_scenarios());
+
+  const std::vector<miniapp::Scenario>& scenarios() const {
+    return scenarios_;
+  }
+  const fem::Mesh& mesh(int scenario_index) const {
+    return meshes_[static_cast<std::size_t>(scenario_index)];
+  }
+
+  /// The full grid: every scenario × @p machines × @p sizes, scenario-major
+  /// then machine then size.
+  std::vector<CampaignPoint> grid(std::span<const sim::MachineConfig> machines,
+                                  std::span<const int> sizes,
+                                  int steps) const;
+
+  /// Run one point.
+  CampaignRun run(const CampaignPoint& point) const;
+
+  /// Run every point, fanning out over @p jobs workers (0 = all cores,
+  /// 1 = serial); results land in point order.
+  std::vector<CampaignRun> run_points(std::span<const CampaignPoint> points,
+                                      int jobs = 0) const;
+
+ private:
+  std::vector<miniapp::Scenario> scenarios_;
+  std::vector<fem::Mesh> meshes_;
+};
+
+}  // namespace vecfd::core

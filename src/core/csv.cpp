@@ -51,4 +51,34 @@ void write_csv(std::ostream& os, std::span<const Measurement> ms) {
   for (const Measurement& m : ms) write_measurement_row(os, m);
 }
 
+void write_campaign_csv_header(std::ostream& os) {
+  os << "scenario,machine,opt,vector_size,steps,total_cycles,total_instrs,"
+        "vector_instrs,mv,av,vcpi,avl,ev";
+  for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
+    os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
+  }
+  os << ",momentum_iters,pressure_iters,final_div,all_converged\n";
+}
+
+void write_campaign_row(std::ostream& os, const CampaignRun& r) {
+  const ScopedPrecision prec(os);
+  os << r.scenario << ',' << r.point.machine.name << ','
+     << to_string(r.point.opt) << ',' << r.point.vector_size << ','
+     << r.point.steps << ',' << r.total_cycles << ','
+     << r.loop.total.total_instrs() << ',' << r.loop.total.vector_instrs()
+     << ',' << r.overall.mv << ',' << r.overall.av << ',' << r.overall.vcpi
+     << ',' << r.overall.avl << ',' << r.overall.ev;
+  for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
+    const auto& pm = r.phase_metrics[static_cast<std::size_t>(p)];
+    os << ',' << r.phase_cycles(p) << ',' << pm.mv << ',' << pm.avl;
+  }
+  os << ',' << r.momentum_iterations << ',' << r.pressure_iterations << ','
+     << r.final_divergence << ',' << (r.all_converged ? 1 : 0) << '\n';
+}
+
+void write_campaign_csv(std::ostream& os, std::span<const CampaignRun> rs) {
+  write_campaign_csv_header(os);
+  for (const CampaignRun& r : rs) write_campaign_row(os, r);
+}
+
 }  // namespace vecfd::core

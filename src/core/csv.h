@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <span>
 
+#include "core/campaign.h"
 #include "core/experiment.h"
 
 namespace vecfd::core {
@@ -18,10 +19,24 @@ void write_csv_header(std::ostream& os);
 
 /// One CSV row per measurement: machine, config, totals, §2.2 metrics and
 /// per-phase cycles/Mv/AVL for phases 1..miniapp::kNumInstrumentedPhases
-/// (ph9 is the Krylov solve; its columns are zero when run_solve is off).
+/// (ph9 is the Krylov solve; ph10/ph11 belong to the transient loop; unused
+/// phase columns are zero).
 void write_measurement_row(std::ostream& os, const Measurement& m);
 
 /// Convenience: header + all rows.
 void write_csv(std::ostream& os, std::span<const Measurement> ms);
+
+/// Header row of `write_campaign_row`.
+void write_campaign_csv_header(std::ostream& os);
+
+/// One CSV row per transient campaign run: scenario, machine, loop shape,
+/// totals, §2.2 metrics, per-phase cycles/Mv/AVL for every instrumented
+/// phase (1..kNumInstrumentedPhases — the same derivation as the sweep
+/// schema) and the convergence digest (Krylov iterations, final projected
+/// divergence).
+void write_campaign_row(std::ostream& os, const CampaignRun& r);
+
+/// Convenience: header + all rows.
+void write_campaign_csv(std::ostream& os, std::span<const CampaignRun> rs);
 
 }  // namespace vecfd::core

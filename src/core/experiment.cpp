@@ -1,10 +1,8 @@
 #include "core/experiment.h"
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
+
+#include "core/parallel.h"
 
 namespace vecfd::core {
 
@@ -37,52 +35,9 @@ Measurement Experiment::run(const sim::MachineConfig& machine,
 std::vector<Measurement> Experiment::run_points(
     std::span<const SweepPoint> points, int jobs) const {
   std::vector<Measurement> out(points.size());
-  if (points.empty()) return out;
-
-  unsigned workers = jobs > 0 ? static_cast<unsigned>(jobs)
-                              : std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  if (workers > points.size()) {
-    workers = static_cast<unsigned>(points.size());
-  }
-
-  if (workers == 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      out[i] = run(points[i].machine, points[i].app);
-    }
-    return out;
-  }
-
-  // Dynamic work-stealing over the point index: expensive points (large
-  // VECTOR_SIZE, semi-implicit) don't serialize behind cheap ones.  Each
-  // worker writes only its claimed slot, so order is deterministic.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
-
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= points.size() || failed.load(std::memory_order_relaxed)) {
-        return;
-      }
-      try {
-        out[i] = run(points[i].machine, points[i].app);
-      } catch (...) {
-        std::scoped_lock lock(error_mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  parallel_for_index(points.size(), jobs, [&](std::size_t i) {
+    out[i] = run(points[i].machine, points[i].app);
+  });
   return out;
 }
 

@@ -1,0 +1,68 @@
+// vecfd::core — the sweep-engine fan-out primitive.
+//
+// Both the assembly sweeps (core/experiment.h) and the transient campaigns
+// (core/campaign.h) map an index range onto independent, pre-sized result
+// slots.  This helper owns the shared mechanics: dynamic work-stealing over
+// the index (expensive points don't serialize behind cheap ones), each
+// worker writing only its claimed slot (deterministic, race-free order),
+// and first-exception propagation after all workers join.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vecfd::core {
+
+/// Invoke `fn(i)` for every i in [0, count), fanning out over @p jobs
+/// worker threads (jobs <= 0 → std::thread::hardware_concurrency; 1 →
+/// plain serial loop).  `fn` must be safe to call concurrently for
+/// distinct indices.  The first exception thrown by any invocation is
+/// rethrown here after the pool drains.
+template <class Fn>
+void parallel_for_index(std::size_t count, int jobs, Fn&& fn) {
+  if (count == 0) return;
+
+  unsigned workers = jobs > 0 ? static_cast<unsigned>(jobs)
+                              : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > count) workers = static_cast<unsigned>(count);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace vecfd::core

@@ -11,31 +11,16 @@ double element_dt_factor(const Physics& phys, std::int32_t material) {
   return material == 0 ? base : 1.02 * base;
 }
 
-void assemble_element(const Mesh& mesh, const State& state,
-                      const ShapeTable& shape, int elem, Scheme scheme,
-                      ElementSystem& out) {
-  const Physics& phys = state.physics();
+void element_geometry(const Mesh& mesh, const ShapeTable& shape, int elem,
+                      ElementGeometry& out) {
   const auto ln = mesh.element(elem);
-
-  // ---- phase 1/2 equivalents: gather ------------------------------------
   double elcod[kDim][kNodes];
-  double elvel[2][kDim][kNodes];
-  double elpre[kNodes];
   for (int a = 0; a < kNodes; ++a) {
-    const int n = ln[a];
-    const auto x = mesh.node(n);
+    const auto x = mesh.node(ln[a]);
     for (int d = 0; d < kDim; ++d) elcod[d][a] = x[d];
-    for (int d = 0; d < kDim; ++d) {
-      elvel[0][d][a] = state.velocity(n, d);
-      elvel[1][d][a] = state.velocity_old(n, d);
-    }
-    elpre[a] = state.pressure(n);
   }
-  const double dtfac = element_dt_factor(phys, mesh.material(elem));
-
-  // ---- phase 3 equivalent: Jacobian, gpcar, gpvol ------------------------
-  double gpcar[kGauss][kDim][kNodes];
-  double gpvol[kGauss];
+  double (&gpcar)[kGauss][kDim][kNodes] = out.gpcar;
+  double (&gpvol)[kGauss] = out.gpvol;
   for (int g = 0; g < kGauss; ++g) {
     double jac[kDim][kDim];
     for (int i = 0; i < kDim; ++i) {
@@ -90,6 +75,32 @@ void assemble_element(const Mesh& mesh, const State& state,
       }
     }
   }
+}
+
+void assemble_element(const Mesh& mesh, const State& state,
+                      const ShapeTable& shape, int elem, Scheme scheme,
+                      ElementSystem& out) {
+  const Physics& phys = state.physics();
+  const auto ln = mesh.element(elem);
+
+  // ---- phase 1/2 equivalents: gather ------------------------------------
+  double elvel[2][kDim][kNodes];
+  double elpre[kNodes];
+  for (int a = 0; a < kNodes; ++a) {
+    const int n = ln[a];
+    for (int d = 0; d < kDim; ++d) {
+      elvel[0][d][a] = state.velocity(n, d);
+      elvel[1][d][a] = state.velocity_old(n, d);
+    }
+    elpre[a] = state.pressure(n);
+  }
+  const double dtfac = element_dt_factor(phys, mesh.material(elem));
+
+  // ---- phase 3 equivalent: Jacobian, gpcar, gpvol ------------------------
+  ElementGeometry geo;
+  element_geometry(mesh, shape, elem, geo);
+  const auto& gpcar = geo.gpcar;
+  const auto& gpvol = geo.gpvol;
 
   // ---- phase 4 equivalent: Gauss-point arrays -----------------------------
   double gpvel[kGauss][2][kDim];

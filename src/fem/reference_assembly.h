@@ -38,6 +38,22 @@ struct ElementSystem {
   double block_at(int a, int b) const { return block[a * kNodes + b]; }
 };
 
+/// Per-element geometry at the Gauss points: Cartesian shape derivatives
+/// and weighted Jacobian determinants (the phase-3 output).  Shared by the
+/// reference assembly and the projection operators (fem/projection.h) so
+/// every operator sees bit-identical element geometry.
+struct ElementGeometry {
+  /// gpcar[g][d][a] = ∂N_a/∂x_d at Gauss point g.
+  double gpcar[kGauss][kDim][kNodes];
+  /// gpvol[g] = w_g·det J at Gauss point g.
+  double gpvol[kGauss];
+};
+
+/// Evaluate the geometry pipeline (gather coords → Jacobian → cofactor
+/// inverse → gpcar/gpvol) for element @p elem.
+void element_geometry(const Mesh& mesh, const ShapeTable& shape, int elem,
+                      ElementGeometry& out);
+
 /// Assemble one element.  @p elem must be a valid element id.
 void assemble_element(const Mesh& mesh, const State& state,
                       const ShapeTable& shape, int elem, Scheme scheme,

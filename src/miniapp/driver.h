@@ -10,6 +10,7 @@
 #include "fem/reference_assembly.h"
 #include "fem/shape.h"
 #include "fem/state.h"
+#include "miniapp/chunk.h"
 #include "miniapp/config.h"
 #include "miniapp/plan.h"
 #include "sim/vpu.h"
@@ -39,13 +40,23 @@ struct MiniAppResult {
 /// The eight instrumented phases of one assembly pass (§2.3).
 inline constexpr int kNumPhases = 8;
 
-/// Phase id of the chained Krylov solve (config.run_solve).
+/// Phase id of the chained Krylov solve (config.run_solve).  In the
+/// transient loop the per-component momentum BiCGStab solves (9a–9c) are
+/// all attributed here.
 inline constexpr int kSolvePhase = 9;
 
+/// Phase id of the pressure-Poisson CG solve (TimeLoop only).
+inline constexpr int kPressurePhase = 10;
+
+/// Phase id of the BLAS-1 velocity correction (TimeLoop only).
+inline constexpr int kCorrectionPhase = 11;
+
 /// Phases carried by every MiniAppResult / Measurement / CSV row: the eight
-/// assembly phases plus the solve.  This is the single source of truth the
-/// CSV header and row writers derive their column count from.
-inline constexpr int kNumInstrumentedPhases = kSolvePhase;
+/// assembly phases, the momentum solve, the pressure solve and the velocity
+/// correction.  This is the single source of truth the CSV header and row
+/// writers derive their column count from; phases 10/11 stay zero outside
+/// the transient loop.
+inline constexpr int kNumInstrumentedPhases = kCorrectionPhase;
 static_assert(kNumInstrumentedPhases <= sim::kDefaultNumPhases,
               "default Vpu profiler must cover every instrumented phase");
 
@@ -71,6 +82,23 @@ class MiniApp {
   /// long as each caller owns its Vpu.  core::Experiment::run_points builds
   /// its sweep fan-out on this guarantee.
   MiniAppResult run(sim::Vpu& vpu) const;
+
+  /// Run only the eight assembly phases WITHOUT resetting @p vpu and
+  /// without snapshotting counters — the building block the transient
+  /// TimeLoop repeats every step while counters accumulate across steps.
+  /// Only the numerical fields (rhs / matrix) of @p res are filled; res
+  /// and the chunk workspace @p ch are reset and reused in place.
+  ///
+  /// Callers that keep measuring after assembly (the chained solve, the
+  /// transient loop) must route every pass through ONE res/ch pair kept
+  /// alive for the whole measurement: the deterministic memory model
+  /// renames host lines in first-touch order, so freeing a Vpu-touched
+  /// buffer mid-measurement and letting a later allocation reuse its
+  /// lines would make cache behaviour depend on allocator history (see
+  /// mem/memory_hierarchy.h).  @p ch must have been built with this
+  /// config's vector_size and scheme.
+  void assemble_into(sim::Vpu& vpu, MiniAppResult& res,
+                     ElementChunk& ch) const;
 
  private:
   const fem::Mesh* mesh_;

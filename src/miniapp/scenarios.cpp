@@ -1,0 +1,159 @@
+#include "miniapp/scenarios.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vecfd::miniapp {
+
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+/// Face predicates with a spacing-relative tolerance: boundary nodes sit on
+/// exact grid coordinates (mesh.cpp never displaces them) but i·dx can land
+/// an ulp away from the domain length.
+struct Faces {
+  explicit Faces(const fem::Mesh& mesh)
+      : cfg(mesh.config()),
+        tol(1e-9 * (cfg.lx / cfg.nx + cfg.ly / cfg.ny + cfg.lz / cfg.nz)) {}
+
+  bool at(double coord, double plane) const {
+    return std::abs(coord - plane) <= tol;
+  }
+  bool x_min(std::span<const double, fem::kDim> p) const {
+    return at(p[0], 0.0);
+  }
+  bool x_max(std::span<const double, fem::kDim> p) const {
+    return at(p[0], cfg.lx);
+  }
+  bool z_max(std::span<const double, fem::kDim> p) const {
+    return at(p[2], cfg.lz);
+  }
+
+  const fem::MeshConfig& cfg;
+  double tol;
+};
+
+std::vector<int> pin_first_node(const fem::Mesh&) { return {0}; }
+
+}  // namespace
+
+Scenario scenario_cavity() {
+  Scenario s;
+  s.name = "cavity";
+  s.description =
+      "lid-driven cavity: no-slip walls, unit lid at z = lz, pressure pinned "
+      "at node 0";
+  s.mesh = {.nx = 6, .ny = 6, .nz = 6, .distortion = 0.05};
+  s.physics = {.density = 1.0, .viscosity = 0.05, .dt = 0.02,
+               .force = {0.0, 0.0, 0.0}};
+  s.initial = [](const fem::Mesh&, int) {
+    return std::array<double, fem::kDofs>{0.0, 0.0, 0.0, 0.0};
+  };
+  s.velocity_bc = [](const fem::Mesh& mesh, int node, double,
+                     std::array<double, fem::kDim>& val) {
+    if (!mesh.is_boundary_node(node)) return false;
+    const Faces f(mesh);
+    const bool lid = f.z_max(mesh.node(node));
+    val = {lid ? 1.0 : 0.0, 0.0, 0.0};
+    return true;
+  };
+  s.pressure_pins = pin_first_node;
+  return s;
+}
+
+Scenario scenario_channel() {
+  Scenario s;
+  s.name = "channel";
+  s.description =
+      "channel flow on a 2x1x1 box: parabolic inflow at x = 0, no-slip "
+      "walls, free outflow with the pressure increment pinned at x = lx";
+  s.mesh = {.nx = 12, .ny = 6, .nz = 6, .lx = 2.0, .distortion = 0.05};
+  s.physics = {.density = 1.0, .viscosity = 0.05, .dt = 0.02,
+               .force = {0.0, 0.0, 0.0}};
+  auto inflow = [](const fem::Mesh& mesh, std::span<const double, fem::kDim> p) {
+    const auto& c = mesh.config();
+    const double fy = (p[1] / c.ly) * (1.0 - p[1] / c.ly);
+    const double fz = (p[2] / c.lz) * (1.0 - p[2] / c.lz);
+    return 16.0 * fy * fz;  // peaks at 1 in the duct centre
+  };
+  s.initial = [](const fem::Mesh&, int) {
+    return std::array<double, fem::kDofs>{0.0, 0.0, 0.0, 0.0};
+  };
+  s.velocity_bc = [inflow](const fem::Mesh& mesh, int node, double,
+                           std::array<double, fem::kDim>& val) {
+    if (!mesh.is_boundary_node(node)) return false;
+    const Faces f(mesh);
+    const auto p = mesh.node(node);
+    if (f.x_max(p)) return false;  // free outflow
+    val = {f.x_min(p) ? inflow(mesh, p) : 0.0, 0.0, 0.0};
+    return true;
+  };
+  s.pressure_pins = [](const fem::Mesh& mesh) {
+    const Faces f(mesh);
+    std::vector<int> pins;
+    for (int n = 0; n < mesh.num_nodes(); ++n) {
+      if (mesh.is_boundary_node(n) && f.x_max(mesh.node(n))) {
+        pins.push_back(n);
+      }
+    }
+    return pins;
+  };
+  return s;
+}
+
+Scenario scenario_taylor_green() {
+  Scenario s;
+  s.name = "taylor-green";
+  s.description =
+      "decaying 2D Taylor-Green vortex (uniform in z): analytic Dirichlet "
+      "data on the whole boundary, zero body force";
+  s.mesh = {.nx = 6, .ny = 6, .nz = 6, .distortion = 0.0};
+  s.physics = {.density = 1.0, .viscosity = 0.02, .dt = 0.01,
+               .force = {0.0, 0.0, 0.0}};
+  // The closed-form solution requires lx == ly (equal wavenumbers make the
+  // convection term an exact gradient); the scenario mesh is a unit cube.
+  const fem::Physics phys = s.physics;
+  auto exact = [phys](const fem::Mesh& mesh, int node, double t) {
+    const auto& c = mesh.config();
+    const double nu = phys.viscosity / phys.density;
+    const auto p = mesh.node(node);
+    const double kx = pi / c.lx;
+    const double ky = pi / c.ly;
+    const double decay = std::exp(-(kx * kx + ky * ky) * nu * t);
+    const double u = std::sin(kx * p[0]) * std::cos(ky * p[1]) * decay;
+    const double v = -(kx / ky) * std::cos(kx * p[0]) * std::sin(ky * p[1]) *
+                     decay;
+    const double pr = 0.25 * phys.density *
+                      (std::cos(2.0 * kx * p[0]) + std::cos(2.0 * ky * p[1])) *
+                      decay * decay;
+    return std::array<double, fem::kDofs>{u, v, 0.0, pr};
+  };
+  s.analytic = exact;
+  s.initial = [exact](const fem::Mesh& mesh, int node) {
+    return exact(mesh, node, 0.0);
+  };
+  s.velocity_bc = [exact](const fem::Mesh& mesh, int node, double t,
+                          std::array<double, fem::kDim>& val) {
+    if (!mesh.is_boundary_node(node)) return false;
+    const auto e = exact(mesh, node, t);
+    val = {e[0], e[1], e[2]};
+    return true;
+  };
+  s.pressure_pins = pin_first_node;
+  return s;
+}
+
+std::vector<Scenario> all_scenarios() {
+  return {scenario_cavity(), scenario_channel(), scenario_taylor_green()};
+}
+
+Scenario scenario_by_name(const std::string& name) {
+  if (name == "cavity") return scenario_cavity();
+  if (name == "channel") return scenario_channel();
+  if (name == "taylor-green") return scenario_taylor_green();
+  throw std::invalid_argument("unknown scenario '" + name + "'");
+}
+
+}  // namespace vecfd::miniapp

@@ -1,0 +1,267 @@
+#include "miniapp/time_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/projection.h"
+#include "solver/vkernels.h"
+
+namespace vecfd::miniapp {
+
+namespace {
+
+/// Turn row r of @p a into the identity row for every fixed node: the
+/// Dirichlet value lands in the RHS and the solution exactly carries it.
+/// Columns are left intact so interior rows keep their coupling to the
+/// boundary values (correct for the nonsymmetric momentum operator).
+void impose_dirichlet_rows(solver::CsrMatrix& a,
+                           const std::vector<char>& fixed) {
+  for (int r = 0; r < a.rows(); ++r) {
+    if (!fixed[static_cast<std::size_t>(r)]) continue;
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      vals[k] = cols[k] == r ? 1.0 : 0.0;
+    }
+  }
+}
+
+MiniAppConfig make_app_config(const TimeLoopConfig& cfg) {
+  MiniAppConfig app;
+  app.vector_size = cfg.vector_size;
+  app.scheme = fem::Scheme::kSemiImplicit;
+  app.opt = cfg.opt;
+  app.run_solve = false;  // the loop runs its own instrumented solves
+  return app;
+}
+
+}  // namespace
+
+TimeLoop::TimeLoop(const fem::Mesh& mesh, const Scenario& scenario,
+                   TimeLoopConfig cfg)
+    : mesh_(&mesh),
+      scen_(scenario),
+      cfg_(cfg),
+      state_(mesh, scenario.physics),
+      app_(mesh, state_, make_app_config(cfg)) {
+  if (cfg_.steps <= 0) {
+    throw std::invalid_argument("TimeLoop: steps must be positive");
+  }
+  if (!scen_.initial || !scen_.velocity_bc || !scen_.pressure_pins) {
+    throw std::invalid_argument("TimeLoop: scenario is missing hooks");
+  }
+
+  // Scenario initial condition on both time levels.
+  const int nn = mesh_->num_nodes();
+  auto unk = state_.unknowns();
+  auto old = state_.unknowns_old();
+  for (int n = 0; n < nn; ++n) {
+    const auto f = scen_.initial(*mesh_, n);
+    for (int c = 0; c < fem::kDofs; ++c) {
+      unk[static_cast<std::size_t>(n) * fem::kDofs + c] = f[c];
+      old[static_cast<std::size_t>(n) * fem::kDofs + c] = f[c];
+    }
+  }
+
+  // Constant operators: pinned SPD Laplacian, dtfac-mass, lumped mass.
+  const fem::ShapeTable& shape = app_.shape();
+  pressure_pins_ = scen_.pressure_pins(*mesh_);
+  if (pressure_pins_.empty()) {
+    throw std::invalid_argument(
+        "TimeLoop: scenario pins no pressure node (the Neumann Poisson "
+        "operator would be singular)");
+  }
+  poisson_ = fem::assemble_pressure_laplacian(*mesh_, shape);
+  fem::pin_dirichlet(poisson_, pressure_pins_);
+  dtmass_ = fem::assemble_dt_mass(*mesh_, state_.physics(), shape);
+  lumped_inv_ = fem::assemble_lumped_mass(*mesh_, shape);
+  for (double& m : lumped_inv_) m = 1.0 / m;
+}
+
+void TimeLoop::apply_velocity_bc(std::vector<double>& vel, double t) const {
+  const int nn = mesh_->num_nodes();
+  std::array<double, fem::kDim> val;
+  for (int n = 0; n < nn; ++n) {
+    if (!scen_.velocity_bc(*mesh_, n, t, val)) continue;
+    for (int d = 0; d < fem::kDim; ++d) {
+      vel[static_cast<std::size_t>(n) * fem::kDim +
+          static_cast<std::size_t>(d)] = val[d];
+    }
+  }
+}
+
+double TimeLoop::divergence_norm(const std::vector<double>& div) const {
+  double s = 0.0;
+  for (std::size_t a = 0; a < div.size(); ++a) {
+    s += div[a] * div[a] * lumped_inv_[a];
+  }
+  return std::sqrt(s);
+}
+
+TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
+  vpu.reset();
+  const fem::Physics& phys = state_.physics();
+  const fem::ShapeTable& shape = app_.shape();
+  const int nn = mesh_->num_nodes();
+  const std::size_t un = static_cast<std::size_t>(nn);
+  const int vs = cfg_.vector_size;
+  const double rho_dt = phys.density / phys.dt;
+
+  const solver::EllMatrix dtmass_ell(dtmass_);
+
+  TimeLoopResult res;
+  res.steps.reserve(static_cast<std::size_t>(cfg_.steps));
+
+  // Everything the Vpu touches is allocated once, before the first step,
+  // and reused in place: the deterministic memory model renames host lines
+  // in first-touch order, so mid-measurement free/realloc churn of touched
+  // buffers would couple cache behaviour to allocator history (see
+  // mem/memory_hierarchy.h).  The Krylov workspaces extend the same
+  // guarantee into the solvers.
+  std::vector<double> vel_now(un * fem::kDim);
+  std::vector<double> u_comp(un), b(un), tmp(un);
+  std::array<std::vector<double>, fem::kDim> ustar;
+  for (auto& u : ustar) u.resize(un);
+  std::vector<double> phi(un), b_p(un);
+  std::vector<double> div, grad;
+  MiniAppResult ar;
+  ElementChunk ch(cfg_.vector_size, /*with_matrix=*/true);
+  solver::CsrMatrix k_bc;
+  solver::EllMatrix k_ell;
+  solver::KrylovWorkspace momentum_ws, pressure_ws;
+  std::vector<char> fixed(un, 0);
+  std::vector<std::array<double, fem::kDim>> bc(un);
+
+  for (int step = 0; step < cfg_.steps; ++step) {
+    const double cycles0 = vpu.counters().total_cycles();
+    const double t_next = time_ + phys.dt;
+    StepReport rep;
+    rep.time = t_next;
+
+    // Sync time levels: old ← current, so the assembled residual is the
+    // Picard residual at uⁿ and b = rhs + (K − Mdt)·uⁿ is exactly the
+    // backward-Euler RHS Mdt·uⁿ + F + Ĝᵀpⁿ (see header).
+    for (int n = 0; n < nn; ++n) {
+      for (int d = 0; d < fem::kDim; ++d) {
+        vel_now[static_cast<std::size_t>(n) * fem::kDim +
+                static_cast<std::size_t>(d)] = state_.velocity(n, d);
+      }
+    }
+    state_.push_time_level(vel_now);
+
+    // ---- phases 1–8: semi-implicit assembly of K and the residual rhs --
+    app_.assemble_into(vpu, ar, ch);
+
+    // Scenario Dirichlet data at the solution time t^{n+1}.
+    std::fill(fixed.begin(), fixed.end(), 0);
+    for (int n = 0; n < nn; ++n) {
+      std::array<double, fem::kDim> val;
+      if (scen_.velocity_bc(*mesh_, n, t_next, val)) {
+        fixed[static_cast<std::size_t>(n)] = 1;
+        bc[static_cast<std::size_t>(n)] = val;
+      }
+    }
+    k_bc = ar.matrix;
+    impose_dirichlet_rows(k_bc, fixed);
+    k_ell.assign(ar.matrix);
+
+    // ---- phase 9: per-component momentum BiCGStab (9a–9c) --------------
+    {
+      sim::ScopedPhase scope(vpu.profiler(), kSolvePhase);
+      for (int d = 0; d < fem::kDim; ++d) {
+        solver::vpack_strided(vpu, state_.unknowns_data() + d, fem::kDofs,
+                              u_comp, vs);
+        solver::vpack_strided(vpu, ar.rhs.data() + d, fem::kDim, b, vs);
+        solver::vspmv(vpu, k_ell, u_comp, tmp, vs);   // K·uⁿ
+        solver::vaxpy(vpu, 1.0, tmp, b, vs);
+        solver::vspmv(vpu, dtmass_ell, u_comp, tmp, vs);  // Mdt·uⁿ
+        solver::vaxpy(vpu, -1.0, tmp, b, vs);
+        for (int n = 0; n < nn; ++n) {  // Dirichlet rows (host)
+          if (fixed[static_cast<std::size_t>(n)]) {
+            b[static_cast<std::size_t>(n)] =
+                bc[static_cast<std::size_t>(n)][static_cast<std::size_t>(d)];
+          }
+        }
+        solver::vcopy(vpu, u_comp, ustar[static_cast<std::size_t>(d)], vs);
+        rep.momentum[static_cast<std::size_t>(d)] = solver::vbicgstab(
+            vpu, k_bc, b, ustar[static_cast<std::size_t>(d)], cfg_.momentum,
+            vs, &momentum_ws);
+        res.all_converged &=
+            rep.momentum[static_cast<std::size_t>(d)].converged;
+      }
+    }
+
+    // ---- phase 10: pressure-Poisson CG ----------------------------------
+    for (int n = 0; n < nn; ++n) {
+      for (int d = 0; d < fem::kDim; ++d) {
+        vel_now[static_cast<std::size_t>(n) * fem::kDim +
+                static_cast<std::size_t>(d)] =
+            ustar[static_cast<std::size_t>(d)][static_cast<std::size_t>(n)];
+      }
+    }
+    fem::assemble_weak_divergence_into(*mesh_, shape, vel_now, div);
+    rep.div_before = divergence_norm(div);
+    {
+      sim::ScopedPhase scope(vpu.profiler(), kPressurePhase);
+      solver::vfill(vpu, b_p, 0.0, vs);
+      solver::vaxpy(vpu, -rho_dt, div, b_p, vs);  // b = −(ρ/Δt)·D u*
+      for (int r : pressure_pins_) b_p[static_cast<std::size_t>(r)] = 0.0;
+      std::fill(phi.begin(), phi.end(), 0.0);
+      rep.pressure = solver::vcg(vpu, poisson_, b_p, phi, cfg_.pressure, vs,
+                                 &pressure_ws);
+      res.all_converged &= rep.pressure.converged;
+    }
+
+    // ---- phase 11: BLAS-1 velocity correction ---------------------------
+    fem::assemble_weak_gradient_into(*mesh_, shape, phi, grad);
+    {
+      sim::ScopedPhase scope(vpu.profiler(), kCorrectionPhase);
+      for (int d = 0; d < fem::kDim; ++d) {
+        solver::vpack_strided(vpu, grad.data() + d, fem::kDim, b, vs);
+        solver::vjacobi_apply(vpu, lumped_inv_, b, tmp, vs);  // M_L⁻¹ Ĝφ
+        solver::vaxpy(vpu, -1.0 / rho_dt, tmp,
+                      ustar[static_cast<std::size_t>(d)], vs);
+      }
+    }
+
+    // Write uⁿ⁺¹ (with Dirichlet data re-imposed) and pⁿ⁺¹ = pⁿ + φ back
+    // into the state; measure the projected divergence.
+    for (int n = 0; n < nn; ++n) {
+      for (int d = 0; d < fem::kDim; ++d) {
+        vel_now[static_cast<std::size_t>(n) * fem::kDim +
+                static_cast<std::size_t>(d)] =
+            ustar[static_cast<std::size_t>(d)][static_cast<std::size_t>(n)];
+      }
+    }
+    apply_velocity_bc(vel_now, t_next);
+    fem::assemble_weak_divergence_into(*mesh_, shape, vel_now, div);
+    rep.div_after = divergence_norm(div);
+
+    auto unk = state_.unknowns();
+    for (int n = 0; n < nn; ++n) {
+      for (int d = 0; d < fem::kDim; ++d) {
+        unk[static_cast<std::size_t>(n) * fem::kDofs +
+            static_cast<std::size_t>(d)] =
+            vel_now[static_cast<std::size_t>(n) * fem::kDim +
+                    static_cast<std::size_t>(d)];
+      }
+      unk[static_cast<std::size_t>(n) * fem::kDofs + fem::kDim] +=
+          phi[static_cast<std::size_t>(n)];
+    }
+
+    time_ = t_next;
+    rep.cycles = vpu.counters().total_cycles() - cycles0;
+    res.steps.push_back(std::move(rep));
+  }
+
+  res.total = vpu.counters();
+  res.phase.resize(kNumInstrumentedPhases + 1);
+  for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
+    res.phase[p] = vpu.profiler().phase(p);
+  }
+  res.cycles = res.total.total_cycles();
+  return res;
+}
+
+}  // namespace vecfd::miniapp

@@ -1,0 +1,112 @@
+// vecfd::miniapp — transient semi-implicit time loop.
+//
+// One step of the incompressible pressure-projection scheme, every solve
+// strip-mined at VECTOR_SIZE and feeding the same per-phase counters as the
+// assembly study (phases in brackets):
+//
+//   [1–8]  semi-implicit assembly of K = (ρ/Δt)M + C(uⁿ) + V and the
+//          momentum residual rhs (the existing mini-app phases)
+//   [9]    per-component momentum BiCGStab (9a–9c): form the backward-Euler
+//          RHS  b_d = rhs_d + (K − Mdt)·uⁿ_d  with instrumented ELL SpMV,
+//          impose the scenario's Dirichlet rows, solve K u*_d = b_d
+//          (Jacobi-preconditioned vbicgstab, warm-started from uⁿ)
+//   [10]   pressure-Poisson CG:  L φ = −(ρ/Δt)·D u*  on the SPD stiffness
+//          operator of fem/projection.h (vcg, pinned per the scenario)
+//   [11]   BLAS-1 velocity correction  uⁿ⁺¹_d = u*_d − (Δt/ρ)·M_L⁻¹(Ĝφ)_d
+//          and the pressure increment pⁿ⁺¹ = pⁿ + φ
+//
+// Host-side (uncounted, per the operator-setup policy of solver/vkernels.h):
+// the constant operators L / Mdt / M_L (built once per loop), the per-step
+// D/Ĝ FEM evaluations feeding phases 10/11, Dirichlet row edits and the
+// divergence diagnostics.
+//
+// Verification hooks: every StepReport carries the Krylov convergence
+// reports and the lumped-L2 norm of the weak divergence before and after
+// projection, and scenarios with an analytic solution (Taylor–Green) make
+// the whole loop checkable against closed form — see test_time_loop.
+// Design notes: DESIGN.md §4.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "fem/state.h"
+#include "miniapp/config.h"
+#include "miniapp/driver.h"
+#include "miniapp/scenarios.h"
+#include "sim/vpu.h"
+#include "solver/csr.h"
+#include "solver/krylov.h"
+
+namespace vecfd::miniapp {
+
+struct TimeLoopConfig {
+  int steps = 5;
+  int vector_size = 240;
+  OptLevel opt = OptLevel::kVec1;
+  solver::SolveOptions momentum{.max_iterations = 500,
+                                .rel_tolerance = 1e-10};
+  solver::SolveOptions pressure{.max_iterations = 1000,
+                                .rel_tolerance = 1e-10};
+};
+
+/// Per-step convergence and incompressibility diagnostics.
+struct StepReport {
+  double time = 0.0;  ///< t^{n+1} of this step
+  std::array<solver::SolveReport, fem::kDim> momentum;  ///< phases 9a–9c
+  solver::SolveReport pressure;                         ///< phase 10
+  /// Lumped-L2 norm ‖div u‖ = sqrt(Σ_a D_a²/M_L[a]) of the weak divergence
+  /// before (u*) and after (uⁿ⁺¹) the projection.
+  double div_before = 0.0;
+  double div_after = 0.0;
+  double cycles = 0.0;  ///< cycles charged during this step
+};
+
+struct TimeLoopResult {
+  std::vector<StepReport> steps;
+  bool all_converged = true;  ///< every Krylov solve of every step converged
+
+  sim::Counters total;               ///< whole-run counters
+  std::vector<sim::Counters> phase;  ///< 0..kNumInstrumentedPhases
+  double cycles = 0.0;
+};
+
+/// Runs N semi-implicit pressure-projection steps of a Scenario on a
+/// simulated machine.  Owns its State (initialized from the scenario);
+/// the mesh must outlive the loop.  Distinct TimeLoops over one shared
+/// Mesh are safe to run concurrently (each owns its State and Vpu) — the
+/// campaign fan-out of core/campaign.h builds on this.
+class TimeLoop {
+ public:
+  TimeLoop(const fem::Mesh& mesh, const Scenario& scenario,
+           TimeLoopConfig cfg);
+
+  const TimeLoopConfig& config() const { return cfg_; }
+  const Scenario& scenario() const { return scen_; }
+  const fem::State& state() const { return state_; }
+  double time() const { return time_; }
+
+  /// Advance cfg.steps steps on @p vpu.  Resets the machine first; calling
+  /// run() again continues from the current fields and time.
+  TimeLoopResult run(sim::Vpu& vpu);
+
+ private:
+  void apply_velocity_bc(std::vector<double>& vel, double t) const;
+  double divergence_norm(const std::vector<double>& div) const;
+
+  const fem::Mesh* mesh_;
+  Scenario scen_;
+  TimeLoopConfig cfg_;
+  fem::State state_;
+  MiniApp app_;
+  double time_ = 0.0;
+
+  // constant host-side operators (see header comment)
+  solver::CsrMatrix poisson_;         ///< pinned SPD Laplacian (phase 10)
+  solver::CsrMatrix dtmass_;          ///< dtfac-weighted consistent mass
+  std::vector<double> lumped_inv_;    ///< 1 / M_L
+  std::vector<int> pressure_pins_;
+};
+
+}  // namespace vecfd::miniapp

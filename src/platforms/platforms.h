@@ -10,7 +10,7 @@
 // * Table 2's 11.2 B/cycle for MN4 is sustained DRAM bandwidth per core;
 //   near-cache vector transfers run at one 512-bit load per cycle, which is
 //   what the streaming term of the timing model represents.  DRAM latency
-//   is carried by the cache-miss penalties instead.  See DESIGN.md.
+//   is carried by the cache-miss penalties instead.  See DESIGN.md §3.
 #pragma once
 
 #include "sim/machine_config.h"

@@ -15,8 +15,10 @@
 namespace vecfd::sim {
 
 /// Default phase-id range of a fresh profiler / Vpu: the mini-app's eight
-/// assembly phases plus the phase-9 Krylov solve (miniapp::kSolvePhase).
-inline constexpr int kDefaultNumPhases = 9;
+/// assembly phases plus the solve-stage phases of the transient loop —
+/// momentum BiCGStab (9), pressure-Poisson CG (10) and the BLAS-1 velocity
+/// correction (11); see miniapp::kSolvePhase et al.
+inline constexpr int kDefaultNumPhases = 11;
 
 class PhaseProfiler {
  public:

@@ -24,17 +24,23 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
 }
 
 std::vector<double> jacobi_inverse_diagonal(const CsrMatrix& a) {
+  std::vector<double> inv;
+  jacobi_inverse_diagonal_into(a, inv);
+  return inv;
+}
+
+void jacobi_inverse_diagonal_into(const CsrMatrix& a,
+                                  std::vector<double>& out) {
   const int n = a.rows();
-  std::vector<double> inv(static_cast<std::size_t>(n), 0.0);
+  out.assign(static_cast<std::size_t>(n), 0.0);
   for (int r = 0; r < n; ++r) {
     const double d = a.at(r, r);
     if (d == 0.0) {
       throw std::runtime_error("jacobi preconditioner: zero diagonal at row " +
                                std::to_string(r));
     }
-    inv[static_cast<std::size_t>(r)] = 1.0 / d;
+    out[static_cast<std::size_t>(r)] = 1.0 / d;
   }
-  return inv;
 }
 
 namespace {

@@ -45,6 +45,11 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
 /// @throws std::runtime_error on a zero diagonal entry.
 std::vector<double> jacobi_inverse_diagonal(const CsrMatrix& a);
 
+/// In-place variant: fills @p out (resized to a.rows()), reusing its
+/// storage across repeated calls — used by workspace-reusing solvers.
+void jacobi_inverse_diagonal_into(const CsrMatrix& a,
+                                  std::vector<double>& out);
+
 // small BLAS-1 helpers shared by the solvers (exposed for tests)
 double dot(std::span<const double> a, std::span<const double> b);
 double norm2(std::span<const double> a);

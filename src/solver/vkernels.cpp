@@ -5,7 +5,11 @@
 
 namespace vecfd::solver {
 
-EllMatrix::EllMatrix(const CsrMatrix& a) : rows_(a.rows()) {
+EllMatrix::EllMatrix(const CsrMatrix& a) { assign(a); }
+
+void EllMatrix::assign(const CsrMatrix& a) {
+  rows_ = a.rows();
+  width_ = 0;
   for (int r = 0; r < rows_; ++r) {
     width_ = std::max(width_, static_cast<int>(a.row_cols(r).size()));
   }
@@ -278,7 +282,8 @@ void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
 }
 
 SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
-                std::span<double> x, const SolveOptions& opts, int strip) {
+                std::span<double> x, const SolveOptions& opts, int strip,
+                KrylovWorkspace* ws) {
   const std::size_t n = b.size();
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("vcg: dimension mismatch");
@@ -290,11 +295,22 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
     rep.converged = true;
     return rep;
   }
-  std::vector<double> dinv;
-  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
-  const EllMatrix ell(a);
+  KrylovWorkspace local;
+  if (ws == nullptr) ws = &local;
+  std::vector<double>& dinv = ws->dinv;
+  if (opts.jacobi_precondition) {
+    jacobi_inverse_diagonal_into(a, dinv);
+  } else {
+    dinv.clear();
+  }
+  ws->ell.assign(a);
+  const EllMatrix& ell = ws->ell;
 
-  std::vector<double> r(n), z(n), p(n), ap(n);
+  std::vector<double>&r = ws->r, &z = ws->z, &p = ws->p, &ap = ws->q;
+  r.assign(n, 0.0);
+  z.assign(n, 0.0);
+  p.assign(n, 0.0);
+  ap.assign(n, 0.0);
   vspmv(vpu, ell, x, r, strip);
   vsub(vpu, b, r, r, strip);
   vjacobi_apply(vpu, dinv, r, z, strip);
@@ -329,7 +345,8 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
 
 SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
                       std::span<const double> b, std::span<double> x,
-                      const SolveOptions& opts, int strip) {
+                      const SolveOptions& opts, int strip,
+                      KrylovWorkspace* ws) {
   const std::size_t n = b.size();
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("vbicgstab: dimension mismatch");
@@ -341,12 +358,27 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
     rep.converged = true;
     return rep;
   }
-  std::vector<double> dinv;
-  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
-  const EllMatrix ell(a);
+  KrylovWorkspace local;
+  if (ws == nullptr) ws = &local;
+  std::vector<double>& dinv = ws->dinv;
+  if (opts.jacobi_precondition) {
+    jacobi_inverse_diagonal_into(a, dinv);
+  } else {
+    dinv.clear();
+  }
+  ws->ell.assign(a);
+  const EllMatrix& ell = ws->ell;
 
-  std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n);
-  std::vector<double> phat(n), shat(n);
+  std::vector<double>&r = ws->r, &r0 = ws->z, &p = ws->p, &v = ws->q;
+  std::vector<double>&s = ws->s, &t = ws->t, &phat = ws->u, &shat = ws->w;
+  r.assign(n, 0.0);
+  r0.assign(n, 0.0);
+  p.assign(n, 0.0);
+  v.assign(n, 0.0);
+  s.assign(n, 0.0);
+  t.assign(n, 0.0);
+  phat.assign(n, 0.0);
+  shat.assign(n, 0.0);
   vspmv(vpu, ell, x, r, strip);
   vsub(vpu, b, r, r, strip);
   vcopy(vpu, r, r0, strip);

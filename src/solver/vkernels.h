@@ -50,6 +50,12 @@ class EllMatrix {
   EllMatrix() = default;
   explicit EllMatrix(const CsrMatrix& a);
 
+  /// Re-mirror @p a, reusing the existing slab storage when the shape
+  /// (rows × width) is unchanged — no reallocation, so repeated solves on
+  /// an updated operator keep touching the same memory lines (the
+  /// determinism requirement of mem/memory_hierarchy.h).
+  void assign(const CsrMatrix& a);
+
   int rows() const { return rows_; }
   int width() const { return width_; }  ///< max nonzeros per row
 
@@ -111,12 +117,28 @@ void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
 // preconditioner and the breakdown-reporting contract.  The CSR operator is
 // mirrored into an EllMatrix internally.
 
+/// Reusable scratch for the instrumented solvers.  One solve = one ELL
+/// mirror + a handful of work vectors; callers running MANY solves in one
+/// instrumented measurement (the transient TimeLoop) must pass the same
+/// workspace to every call so no Vpu-touched buffer is freed and
+/// re-allocated mid-measurement — the deterministic memory model renames
+/// host lines in first-touch order, so alloc/free churn of touched lines
+/// would make cache behaviour depend on allocator history (see
+/// mem/memory_hierarchy.h).  Buffers grow on first use and are reused (no
+/// reallocation) when system sizes repeat.
+struct KrylovWorkspace {
+  EllMatrix ell;
+  std::vector<double> dinv;
+  std::vector<double> r, z, p, q, s, t, u, w;
+};
+
 SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
                 std::span<double> x, const SolveOptions& opts = {},
-                int strip = 0);
+                int strip = 0, KrylovWorkspace* ws = nullptr);
 
 SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
                       std::span<const double> b, std::span<double> x,
-                      const SolveOptions& opts = {}, int strip = 0);
+                      const SolveOptions& opts = {}, int strip = 0,
+                      KrylovWorkspace* ws = nullptr);
 
 }  // namespace vecfd::solver

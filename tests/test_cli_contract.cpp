@@ -59,6 +59,63 @@ TEST(CliContract, SolveRunExitsZeroAndImpliesSemiScheme) {
   EXPECT_EQ(exit_code("--solve --scheme semi --mesh 4,4,2 --vs 16"), 0);
 }
 
+TEST(CliContract, TransientRunExitsZeroAndImpliesSemiScheme) {
+  // --steps runs the time loop on the default cavity scenario; --scenario
+  // alone implies a short loop; both imply --scheme semi
+  EXPECT_EQ(exit_code("--steps 2 --mesh 3,3,3 --vs 16"), 0);
+  EXPECT_EQ(exit_code("--scenario taylor-green --steps 2 --mesh 3,3,3 "
+                      "--vs 16"),
+            0);
+  EXPECT_EQ(exit_code("--scenario cavity --mesh 3,3,3 --vs 16 --steps 1 "
+                      "--scheme semi"),
+            0);
+}
+
+TEST(CliContract, TransientInvalidArgumentsNameTheFlag) {
+  const struct {
+    const char* args;
+    const char* flag;
+  } cases[] = {
+      {"--steps 0", "--steps"},
+      {"--steps -3", "--steps"},
+      {"--steps banana", "--steps"},
+      {"--steps", "--steps"},  // missing value
+      {"--steps 2 --scheme explicit", "--steps"},
+      {"--scenario bogus --steps 1", "--scenario"},
+      {"--scenario", "--scenario"},  // missing value
+      {"--scenario cavity --scheme explicit", "--scenario"},
+      {"--steps 1 --solve", "--solve"},  // the loop solves on its own
+      {"--steps 1 --prv trace", "--prv"},
+      {"--steps 1 --advise", "--advise"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(exit_code(c.args), 2) << c.args;
+    EXPECT_NE(stderr_of(c.args).find(c.flag), std::string::npos)
+        << c.args << " should name " << c.flag << " on stderr";
+  }
+}
+
+TEST(CliContract, TransientCampaignCsvIsDeterministicAcrossJobs) {
+  VECFD_SKIP_UNDER_ASAN();
+  const fs::path dir = fs::temp_directory_path();
+  const fs::path serial = dir / "vecfd_campaign_serial.csv";
+  const fs::path parallel = dir / "vecfd_campaign_parallel.csv";
+  // single-scenario campaign (--sweep + --scenario restricts the grid) on
+  // a tiny mesh so the contract test stays fast
+  const std::string base =
+      "--sweep --scenario cavity --steps 1 --mesh 3,3,3 ";
+  ASSERT_EQ(exit_code(base + "--jobs 1 --csv " + serial.string()), 0);
+  ASSERT_EQ(exit_code(base + "--jobs 4 --csv " + parallel.string()), 0);
+  const std::string a = slurp(serial);
+  const std::string b = slurp(parallel);
+  EXPECT_FALSE(a.empty());
+  EXPECT_NE(a.find("scenario,machine"), std::string::npos);
+  EXPECT_NE(a.find("ph11_avl"), std::string::npos);
+  EXPECT_EQ(a, b);
+  fs::remove(serial);
+  fs::remove(parallel);
+}
+
 TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
   const struct {
     const char* args;

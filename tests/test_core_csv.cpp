@@ -42,10 +42,12 @@ TEST(Csv, HeaderAndRowHaveSameArity) {
   const auto h = split(header);
   const auto r = split(row);
   EXPECT_EQ(h.size(), r.size());
-  // 15 scalar columns + 9 phases x 3 (8 assembly + the phase-9 solve),
-  // both derived from miniapp::kNumInstrumentedPhases
-  EXPECT_EQ(h.size(), 15u + 27u);
+  // 15 scalar columns + 11 phases x 3 (8 assembly + momentum solve +
+  // pressure solve + correction), both derived from
+  // miniapp::kNumInstrumentedPhases
+  EXPECT_EQ(h.size(), 15u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
   EXPECT_NE(header.find("ph9_cycles"), std::string::npos);
+  EXPECT_NE(header.find("ph11_avl"), std::string::npos);
 }
 
 TEST(Csv, SolveRunPopulatesPhase9Columns) {
@@ -60,7 +62,7 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   std::ostringstream os_off;
   vecfd::core::write_measurement_row(os_off, off);
   const auto r_off = split(os_off.str());
-  ASSERT_EQ(r_off.size(), 15u + 27u);
+  ASSERT_EQ(r_off.size(), 15u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
   EXPECT_DOUBLE_EQ(std::stod(r_off[15 + 24]), 0.0);  // ph9_cycles
 
   // ...and a --solve run fills them, same arity as the header

@@ -1,0 +1,143 @@
+// Golden-file regression of the sweep CSV schema and values.
+//
+// A small-mesh sweep (assembly + phase-9 solve) is serialized through
+// core::write_csv and compared against the checked-in golden at
+// tests/golden/sweep_small.csv:
+//
+//   * the SCHEMA (header row) must match byte for byte — any column
+//     addition/rename/reorder is a deliberate, reviewed change;
+//   * the VALUES are tolerance-compared per cell (numeric cells within
+//     1e-9 relative, everything else exactly), so last-ulp timing noise
+//     across compilers doesn't flake while real counter regressions fail.
+//
+// Updating the golden is deliberate: run the test binary with
+// `--regen-golden` and commit the rewritten file.
+//
+// This suite links plain GTest (no gtest_main): the custom main owns the
+// --regen-golden flag.  The exact-value comparison is skipped under ASan,
+// whose allocator breaks the 128-byte-aligned deterministic memory model
+// (see sanitizer_support.h); the schema check always runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/csv.h"
+#include "platforms/platforms.h"
+#include "sanitizer_support.h"
+
+namespace {
+
+using namespace vecfd;
+
+const char* kGoldenPath = VECFD_GOLDEN_FILE;
+
+/// The golden workload: small mesh, two VECTOR_SIZEs x two optimization
+/// levels, semi-implicit with the chained phase-9 solve, serial (jobs=1)
+/// so the golden never depends on the host's core count.
+std::string generate_sweep_csv() {
+  const fem::Mesh mesh({.nx = 4, .ny = 4, .nz = 2});
+  const fem::State state(mesh);
+  const core::Experiment ex(mesh, state);
+  miniapp::MiniAppConfig cfg;
+  cfg.scheme = fem::Scheme::kSemiImplicit;
+  cfg.run_solve = true;
+  const int sizes[] = {16, 64};
+  const miniapp::OptLevel levels[] = {miniapp::OptLevel::kVanilla,
+                                      miniapp::OptLevel::kVec1};
+  const auto ms =
+      ex.sweep_grid(platforms::riscv_vec(), cfg, sizes, levels, /*jobs=*/1);
+  std::ostringstream os;
+  core::write_csv(os, ms);
+  return os.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string l;
+  while (std::getline(is, l)) out.push_back(l);
+  return out;
+}
+
+std::vector<std::string> cells_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string c;
+  while (std::getline(is, c, ',')) out.push_back(c);
+  return out;
+}
+
+std::string slurp_golden() {
+  std::ifstream is(kGoldenPath, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(GoldenCsv, GoldenFileExists) {
+  EXPECT_FALSE(slurp_golden().empty())
+      << "missing " << kGoldenPath
+      << " — regenerate with: test_golden_csv --regen-golden";
+}
+
+TEST(GoldenCsv, SchemaIsByteStable) {
+  const auto fresh = lines_of(generate_sweep_csv());
+  const auto golden = lines_of(slurp_golden());
+  ASSERT_FALSE(golden.empty());
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh[0], golden[0])
+      << "CSV header changed — if intentional, regenerate the golden with "
+         "--regen-golden and review the schema diff";
+}
+
+TEST(GoldenCsv, ValuesMatchWithinTolerance) {
+  VECFD_SKIP_UNDER_ASAN();
+  const auto fresh = lines_of(generate_sweep_csv());
+  const auto golden = lines_of(slurp_golden());
+  ASSERT_EQ(fresh.size(), golden.size()) << "row count changed";
+  for (std::size_t row = 1; row < golden.size(); ++row) {
+    const auto got = cells_of(fresh[row]);
+    const auto want = cells_of(golden[row]);
+    ASSERT_EQ(got.size(), want.size()) << "arity of row " << row;
+    for (std::size_t col = 0; col < want.size(); ++col) {
+      if (got[col] == want[col]) continue;  // fast path, incl. text cells
+      char* end_g = nullptr;
+      char* end_w = nullptr;
+      const double g = std::strtod(got[col].c_str(), &end_g);
+      const double w = std::strtod(want[col].c_str(), &end_w);
+      const bool numeric = end_g != got[col].c_str() && *end_g == '\0' &&
+                           end_w != want[col].c_str() && *end_w == '\0';
+      ASSERT_TRUE(numeric) << "non-numeric mismatch at row " << row
+                           << " col " << col << ": '" << got[col] << "' vs '"
+                           << want[col] << "'";
+      EXPECT_NEAR(g, w, 1e-9 * (1.0 + std::abs(w)))
+          << "row " << row << " col " << col;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool regen = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen-golden") regen = true;
+  }
+  if (regen) {
+    std::ofstream os(kGoldenPath, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", kGoldenPath);
+      return 1;
+    }
+    os << generate_sweep_csv();
+    std::printf("regenerated %s\n", kGoldenPath);
+    return 0;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

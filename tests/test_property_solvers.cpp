@@ -1,0 +1,222 @@
+// Property tests for the instrumented Krylov solvers: randomized SPD and
+// nonsymmetric CSR systems run through vcg/vbicgstab on all four platform
+// configurations (including the scalar-fallback machine) against the host
+// cg/bicgstab, asserting the SolveReport residual contract of krylov.h on
+// EVERY exit path — convergence, iteration-budget exhaustion and Krylov
+// breakdowns: `residual` always equals the true relative residual
+// ‖b − A·x‖₂/‖b‖₂ of the returned x, `history` is never left empty after
+// work was done, and `converged` agrees with the tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "platforms/platforms.h"
+#include "solver/krylov.h"
+#include "solver/vkernels.h"
+
+namespace {
+
+using namespace vecfd;
+using solver::CsrMatrix;
+using solver::SolveOptions;
+using solver::SolveReport;
+
+const sim::MachineConfig kMachines[] = {
+    platforms::riscv_vec(), platforms::riscv_vec_scalar(),
+    platforms::sx_aurora(), platforms::mn4_avx512()};
+
+/// Random sparse matrix with a dominant diagonal: ~`extra` off-diagonal
+/// entries per row, symmetric (SPD) or general (nonsingular either way).
+CsrMatrix random_system(int n, int extra, bool spd, std::mt19937& rng) {
+  std::uniform_int_distribution<int> col(0, n - 1);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::pair<int, double>>> entries(
+      static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int k = 0; k < extra; ++k) {
+      const int c = col(rng);
+      if (c == r) continue;
+      const double v = val(rng);
+      entries[static_cast<std::size_t>(r)].push_back({c, v});
+      adj[static_cast<std::size_t>(r)].push_back(c);
+      if (spd) {
+        entries[static_cast<std::size_t>(c)].push_back({r, v});
+        adj[static_cast<std::size_t>(c)].push_back(r);
+      }
+    }
+  }
+  CsrMatrix a(adj);
+  std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < n; ++r) {
+    for (const auto& [c, v] : entries[static_cast<std::size_t>(r)]) {
+      a.add(r, c, v);
+      rowsum[static_cast<std::size_t>(r)] += std::abs(v);
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    // strict diagonal dominance keeps the system nonsingular (and SPD in
+    // the symmetric case); the +0.5 margin keeps Jacobi well conditioned
+    a.add(r, r, rowsum[static_cast<std::size_t>(r)] + 0.5 + 0.1 * (r % 7));
+  }
+  return a;
+}
+
+std::vector<double> random_vector(int n, std::mt19937& rng) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = u(rng);
+  return v;
+}
+
+double true_relative_residual(const CsrMatrix& a,
+                              const std::vector<double>& b,
+                              const std::vector<double>& x) {
+  std::vector<double> ax(b.size());
+  a.spmv(x, ax);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    num += (b[i] - ax[i]) * (b[i] - ax[i]);
+    den += b[i] * b[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+/// The krylov.h residual contract, checked against a recomputed residual.
+void expect_contract(const SolveReport& rep, const CsrMatrix& a,
+                     const std::vector<double>& b,
+                     const std::vector<double>& x, const SolveOptions& opts,
+                     const std::string& what) {
+  const double truth = true_relative_residual(a, b, x);
+  // the report's residual is itself a float computation; compare loosely
+  EXPECT_NEAR(rep.residual, truth, 1e-8 * (1.0 + truth)) << what;
+  if (rep.converged) {
+    EXPECT_LT(rep.residual, opts.rel_tolerance) << what;
+  }
+  if (rep.iterations > 0) {
+    ASSERT_FALSE(rep.history.empty()) << what;
+    EXPECT_DOUBLE_EQ(rep.history.back(), rep.residual) << what;
+  }
+}
+
+TEST(PropertySolvers, SpdSystemsOnAllPlatforms) {
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 40 + 17 * trial;  // odd sizes: remainder strips
+    const CsrMatrix a = random_system(n, 3, /*spd=*/true, rng);
+    const std::vector<double> b = random_vector(n, rng);
+    const SolveOptions opts{.max_iterations = 200, .rel_tolerance = 1e-11};
+
+    std::vector<double> x_host(static_cast<std::size_t>(n), 0.0);
+    const SolveReport host = solver::cg(a, b, x_host, opts);
+    ASSERT_TRUE(host.converged) << "trial " << trial;
+    expect_contract(host, a, b, x_host, opts, "host cg");
+
+    for (const auto& m : kMachines) {
+      sim::Vpu vpu(m);
+      std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+      const SolveReport rep = solver::vcg(vpu, a, b, x, opts, 48);
+      const std::string what =
+          std::string("vcg on ") + m.name + " trial " + std::to_string(trial);
+      EXPECT_TRUE(rep.converged) << what;
+      expect_contract(rep, a, b, x, opts, what);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(x[i], x_host[i], 1e-7) << what << " entry " << i;
+      }
+      if (!m.vector_enabled) {
+        EXPECT_EQ(vpu.counters().vector_instrs(), 0u) << what;
+      }
+    }
+  }
+}
+
+TEST(PropertySolvers, NonsymmetricSystemsOnAllPlatforms) {
+  std::mt19937 rng(98765);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 37 + 23 * trial;
+    const CsrMatrix a = random_system(n, 4, /*spd=*/false, rng);
+    const std::vector<double> b = random_vector(n, rng);
+    const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+
+    std::vector<double> x_host(static_cast<std::size_t>(n), 0.0);
+    const SolveReport host = solver::bicgstab(a, b, x_host, opts);
+    ASSERT_TRUE(host.converged) << "trial " << trial;
+    expect_contract(host, a, b, x_host, opts, "host bicgstab");
+
+    for (const auto& m : kMachines) {
+      sim::Vpu vpu(m);
+      std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+      const SolveReport rep = solver::vbicgstab(vpu, a, b, x, opts, 64);
+      const std::string what = std::string("vbicgstab on ") + m.name +
+                               " trial " + std::to_string(trial);
+      EXPECT_TRUE(rep.converged) << what;
+      expect_contract(rep, a, b, x, opts, what);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(x[i], x_host[i], 1e-7) << what << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(PropertySolvers, IterationBudgetExitKeepsResidualTruthful) {
+  std::mt19937 rng(555);
+  const int n = 64;
+  const CsrMatrix a = random_system(n, 3, /*spd=*/true, rng);
+  const std::vector<double> b = random_vector(n, rng);
+  // an impossible tolerance with a tiny budget forces the budget exit
+  const SolveOptions opts{.max_iterations = 2, .rel_tolerance = 1e-30};
+  for (const auto& m : kMachines) {
+    for (const bool use_cg : {true, false}) {
+      sim::Vpu vpu(m);
+      std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+      const SolveReport rep =
+          use_cg ? solver::vcg(vpu, a, b, x, opts, 32)
+                 : solver::vbicgstab(vpu, a, b, x, opts, 32);
+      const std::string what = std::string(use_cg ? "vcg" : "vbicgstab") +
+                               " budget exit on " + m.name;
+      EXPECT_FALSE(rep.converged) << what;
+      EXPECT_EQ(rep.iterations, 2) << what;
+      expect_contract(rep, a, b, x, opts, what);
+      EXPECT_GT(rep.residual, 0.0) << what;
+    }
+  }
+}
+
+TEST(PropertySolvers, BreakdownExitKeepsResidualTruthful) {
+  // diag(1, -1): CG's p·Ap vanishes on the first iteration.  The reported
+  // residual must be the true one, never the misleading 0/false pair.
+  CsrMatrix a(std::vector<std::vector<int>>(2));
+  a.add(0, 0, 1.0);
+  a.add(1, 1, -1.0);
+  const std::vector<double> b{1.0, 1.0};
+  const SolveOptions opts;
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    std::vector<double> x(2, 0.0);
+    const SolveReport rep = solver::vcg(vpu, a, b, x, opts, 2);
+    const std::string what = std::string("vcg breakdown on ") + m.name;
+    EXPECT_FALSE(rep.converged) << what;
+    ASSERT_FALSE(rep.history.empty()) << what;
+    expect_contract(rep, a, b, x, opts, what);
+  }
+}
+
+TEST(PropertySolvers, ZeroRhsConvergesToZeroSolutionEverywhere) {
+  std::mt19937 rng(31);
+  const int n = 33;
+  const CsrMatrix a = random_system(n, 2, /*spd=*/true, rng);
+  const std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    std::vector<double> x = random_vector(n, rng);  // nonzero initial guess
+    const SolveReport rep = solver::vcg(vpu, a, b, x, {}, 16);
+    EXPECT_TRUE(rep.converged) << m.name;
+    EXPECT_EQ(rep.iterations, 0) << m.name;
+    for (double xi : x) EXPECT_DOUBLE_EQ(xi, 0.0) << m.name;
+  }
+}
+
+}  // namespace

@@ -9,6 +9,12 @@
 //   vecfd-run --sweep --solve --csv sweep.csv   # assembly + phase-9 solve
 //   vecfd-run --machine sx-aurora --opt ivec2 --vs 240 --advise
 //   vecfd-run --opt vec2 --vs 240 --prv trace --remarks
+//   vecfd-run --scenario taylor-green --steps 10        # transient loop
+//   vecfd-run --sweep --steps 3 --csv campaign.csv      # full campaign
+//
+// --steps/--scenario switch to the transient time loop (phases 1–11);
+// combined with --sweep they batch the full campaign — every scenario ×
+// all four platforms × the studied VECTOR_SIZEs — over the thread pool.
 //
 // The sweep fans out over a thread pool (one Vpu per sweep point); --jobs
 // bounds the worker count and --jobs 1 forces the serial path.  Output is
@@ -26,11 +32,14 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "core/campaign.h"
 #include "core/csv.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "compiler/vectorization_model.h"
 #include "miniapp/driver.h"
+#include "miniapp/scenarios.h"
+#include "miniapp/time_loop.h"
 #include "trace/paraver.h"
 #include "trace/vehave_trace.h"
 
@@ -47,11 +56,16 @@ struct Options {
   bool sweep = false;
   bool solve = false;
   bool scheme_set = false;  ///< --scheme given explicitly
+  bool mesh_set = false;    ///< --mesh given explicitly
   bool advise = false;
   bool remarks = false;
+  int steps = 0;  ///< > 0 switches to the transient time loop
+  std::optional<std::string> scenario;
   int nx = 16, ny = 20, nz = 24;
   std::optional<std::string> csv_path;
   std::optional<std::string> prv_base;
+
+  bool transient() const { return steps > 0 || scenario.has_value(); }
 };
 
 void usage(std::ostream& os) {
@@ -66,6 +80,12 @@ void usage(std::ostream& os) {
         "                x {vanilla,vec2,ivec2,vec1} in parallel\n"
         "  --solve       chain the instrumented Krylov solve as phase 9\n"
         "                (implies --scheme semi)\n"
+        "  --steps N     run N transient semi-implicit steps (phases 1-11;\n"
+        "                implies --scheme semi, default scenario 'cavity');\n"
+        "                with --sweep: the full campaign, every scenario x\n"
+        "                all four platforms x the studied VECTOR_SIZEs\n"
+        "  --scenario S  cavity | channel | taylor-green (implies --steps,\n"
+        "                default 5)\n"
         "  --jobs N      sweep worker threads (default 0 = all cores;\n"
         "                1 = serial)\n"
         "  --mesh X,Y,Z  elements per axis     (default 16,20,24)\n"
@@ -155,6 +175,19 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.sweep = true;
     } else if (a == "--solve") {
       opt.solve = true;
+    } else if (a == "--steps") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      const auto n = parse_int(v);
+      if (!n || *n <= 0) {
+        return fail(a, "invalid step count '" + std::string(v) +
+                           "' (want a positive integer)");
+      }
+      opt.steps = *n;
+    } else if (a == "--scenario") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      opt.scenario = v;
     } else if (a == "--mesh") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -163,6 +196,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return fail(a, "invalid mesh '" + std::string(v) +
                            "' (want X,Y,Z with positive elements per axis)");
       }
+      opt.mesh_set = true;
     } else if (a == "--csv") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -182,6 +216,134 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// Print the compiler model's remarks for one configuration (--remarks).
+void print_remarks(const sim::MachineConfig& machine,
+                   const miniapp::MiniAppConfig& cfg) {
+  const compiler::VectorizationModel model(
+      machine, cfg.opt != miniapp::OptLevel::kScalar);
+  std::cout << "vectorization remarks:\n";
+  for (const auto& r : compiler::remarks(model, miniapp::loop_infos(cfg))) {
+    std::cout << "  " << r << '\n';
+  }
+  std::cout << '\n';
+}
+
+/// Open @p path and serialize @p rows with @p writer (--csv).  Returns the
+/// process exit code so both the single-run and transient paths share one
+/// error policy.
+template <class Rows, class Writer>
+int write_csv_file(const std::string& path, const Rows& rows, Writer writer,
+                   const char* what) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << '\n';
+    return 2;
+  }
+  writer(os, rows);
+  std::cout << "wrote " << rows.size() << ' ' << what << " to " << path
+            << '\n';
+  return 0;
+}
+
+void print_phase_row(core::Table& t, int p, double cycles, double share,
+                     const metrics::VectorMetrics& pm) {
+  t.add_row({std::to_string(p), core::fmt(cycles, 0), core::fmt_pct(share),
+             core::fmt_pct(pm.mv), core::fmt(pm.avl, 1)});
+}
+
+void print_campaign_run(const core::CampaignRun& r) {
+  std::cout << r.scenario << " / " << r.point.machine.name << " / "
+            << to_string(r.point.opt)
+            << " / VECTOR_SIZE=" << r.point.vector_size << " / steps="
+            << r.point.steps << '\n';
+  std::cout << "  cycles=" << core::fmt(r.total_cycles, 0)
+            << "  Mv=" << core::fmt_pct(r.overall.mv)
+            << "  Av=" << core::fmt_pct(r.overall.av)
+            << "  vCPI=" << core::fmt(r.overall.vcpi, 1)
+            << "  AVL=" << core::fmt(r.overall.avl, 1)
+            << "  Ev=" << core::fmt_pct(r.overall.ev) << '\n';
+  core::Table t({"phase", "cycles", "share", "Mv", "AVL"});
+  for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
+    const double cycles = r.phase_cycles(p);
+    const double share =
+        r.total_cycles > 0.0 ? cycles / r.total_cycles : 0.0;
+    print_phase_row(t, p, cycles, share,
+                    r.phase_metrics[static_cast<std::size_t>(p)]);
+  }
+  std::cout << t.to_string();
+  std::cout << "  solves: momentum " << r.momentum_iterations
+            << " iters (phase 9), pressure " << r.pressure_iterations
+            << " iters (phase 10), "
+            << (r.all_converged ? "all converged" : "NOT all converged")
+            << ", final div=" << core::fmt(r.final_divergence, 6) << '\n';
+}
+
+/// The transient path: a single TimeLoop run, or (--sweep) the full
+/// campaign over scenario x platform x VECTOR_SIZE.
+int run_transient(const Options& opts, const sim::MachineConfig& machine,
+                  miniapp::OptLevel level) {
+  std::vector<miniapp::Scenario> scens;
+  if (opts.scenario || !opts.sweep) {
+    const std::string name = opts.scenario.value_or("cavity");
+    try {
+      scens.push_back(miniapp::scenario_by_name(name));
+    } catch (const std::invalid_argument&) {
+      fail("--scenario", "unknown scenario '" + name + "'");
+      return 2;
+    }
+  } else {
+    scens = miniapp::all_scenarios();
+  }
+  if (opts.mesh_set) {
+    for (auto& s : scens) {
+      s.mesh.nx = opts.nx;
+      s.mesh.ny = opts.ny;
+      s.mesh.nz = opts.nz;
+    }
+  }
+  const core::Campaign camp(std::move(scens));
+
+  std::vector<core::CampaignPoint> points;
+  if (opts.sweep) {
+    const sim::MachineConfig machines[] = {
+        platforms::riscv_vec(), platforms::riscv_vec_scalar(),
+        platforms::sx_aurora(), platforms::mn4_avx512()};
+    points = camp.grid(machines, miniapp::kStudiedVectorSizes, opts.steps);
+    for (auto& p : points) p.opt = level;
+  } else {
+    core::CampaignPoint p;
+    p.machine = machine;
+    p.vector_size = opts.vs;
+    p.steps = opts.steps;
+    p.opt = level;
+    points.push_back(p);
+  }
+
+  const auto runs = camp.run_points(points, opts.jobs);
+  for (const auto& r : runs) {
+    print_campaign_run(r);
+    std::cout << '\n';
+  }
+
+  if (opts.remarks) {
+    miniapp::MiniAppConfig cfg;
+    cfg.vector_size = points.front().vector_size;
+    cfg.scheme = fem::Scheme::kSemiImplicit;
+    cfg.opt = level;
+    print_remarks(machine, cfg);
+  }
+
+  if (opts.csv_path) {
+    return write_csv_file(
+        *opts.csv_path, runs,
+        [](std::ostream& os, const std::vector<core::CampaignRun>& rs) {
+          core::write_campaign_csv(os, rs);
+        },
+        "campaign rows");
+  }
+  return 0;
+}
+
 void print_measurement(const core::Measurement& m) {
   std::cout << m.machine.name << " / " << to_string(m.app.opt)
             << " / VECTOR_SIZE=" << m.app.vector_size << " / "
@@ -194,8 +356,9 @@ void print_measurement(const core::Measurement& m) {
             << "  Ev=" << core::fmt_pct(m.overall.ev) << '\n';
   core::Table t({"phase", "cycles", "share", "Mv", "AVL",
                  "L1 DCM/ki"});
+  // phases 10/11 belong to the transient loop; a --solve run ends at 9
   const int last_phase =
-      m.has_solve ? miniapp::kNumInstrumentedPhases : miniapp::kNumPhases;
+      m.has_solve ? miniapp::kSolvePhase : miniapp::kNumPhases;
   for (int p = 1; p <= last_phase; ++p) {
     t.add_row({std::to_string(p), core::fmt(m.phase_cycles(p), 0),
                core::fmt_pct(m.phase_share(p)),
@@ -243,6 +406,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opts.transient()) {
+    if (!opts.scheme_set) {
+      opts.scheme = "semi";  // the transient loop is semi-implicit
+    }
+    if (opts.scheme != "semi") {
+      fail(opts.steps > 0 ? "--steps" : "--scenario",
+           "requires --scheme semi (the transient loop assembles and solves "
+           "the momentum matrix every step)");
+      return 2;
+    }
+    if (opts.solve) {
+      fail("--solve", "incompatible with --steps/--scenario (the transient "
+                      "loop runs its own instrumented solves)");
+      return 2;
+    }
+    if (opts.prv_base) {
+      fail("--prv", "requires an assembly run (omit --steps/--scenario)");
+      return 2;
+    }
+    if (opts.advise) {
+      fail("--advise", "requires an assembly run (omit --steps/--scenario)");
+      return 2;
+    }
+    if (opts.steps == 0) opts.steps = 5;  // --scenario implies a short loop
+    return run_transient(opts, *machine, *level);
+  }
+
   const fem::Mesh mesh({.nx = opts.nx, .ny = opts.ny, .nz = opts.nz});
   const fem::State state(mesh);
   const core::Experiment ex(mesh, state);
@@ -276,25 +466,17 @@ int main(int argc, char** argv) {
 
   if (opts.remarks) {
     cfg.vector_size = ms.front().app.vector_size;
-    const compiler::VectorizationModel model(
-        *machine, cfg.opt != miniapp::OptLevel::kScalar);
-    std::cout << "vectorization remarks:\n";
-    for (const auto& r :
-         compiler::remarks(model, miniapp::loop_infos(cfg))) {
-      std::cout << "  " << r << '\n';
-    }
-    std::cout << '\n';
+    print_remarks(*machine, cfg);
   }
 
   if (opts.csv_path) {
-    std::ofstream os(*opts.csv_path);
-    if (!os) {
-      std::cerr << "cannot open " << *opts.csv_path << '\n';
-      return 2;
-    }
-    core::write_csv(os, ms);
-    std::cout << "wrote " << ms.size() << " rows to " << *opts.csv_path
-              << '\n';
+    const int rc = write_csv_file(
+        *opts.csv_path, ms,
+        [](std::ostream& os, const std::vector<core::Measurement>& rows) {
+          core::write_csv(os, rows);
+        },
+        "rows");
+    if (rc != 0) return rc;
   }
 
   if (opts.prv_base) {
