@@ -70,5 +70,53 @@ int main() {
                "dominates the cycle budget, and its AVL saturates at "
                "min(VECTOR_SIZE, vlmax) — the transient loop is where long "
                "vectors pay off.\n";
+
+  // ---- blocked vs per-component momentum: operator-slab traffic --------
+  // The campaign above runs the (default) blocked multi-RHS phase 9; the
+  // per-component reference quantifies what the fusion buys.  Slab loads
+  // from the per-phase counters alone: in the per-component path every
+  // gather pairs with one value + one index slab load (slab = 2×indexed),
+  // and the paths are instruction-identical outside the shared slabs, so
+  // slab_blocked = slab_pc − Δ(unit loads).  See bench/multirhs_speedup
+  // for the deeper per-VECTOR_SIZE study.
+  std::cout << "\nblocked multi-RHS phase 9 vs per-component (scenario "
+            << camp.scenarios()[0].name << ", riscv-vec):\n\n";
+  std::vector<core::CampaignPoint> cmp_points;
+  for (int vs : bench::kVectorSizes) {
+    core::CampaignPoint p;
+    p.scenario = 0;
+    p.machine = platforms::riscv_vec();
+    p.vector_size = vs;
+    p.steps = steps;
+    for (const bool blocked : {true, false}) {
+      p.blocked_momentum = blocked;
+      cmp_points.push_back(p);
+    }
+  }
+  const auto cmp_runs = camp.run_points(cmp_points, bench::sweep_jobs());
+  core::Table ct({"VS", "ph9 slab loads", "blocked slabs", "slab redux",
+                  "ph9 AVL", "ph9 Ev", "ph9 speedup"});
+  for (std::size_t i = 0; i + 1 < cmp_runs.size(); i += 2) {
+    const auto& blk = cmp_runs[i].loop.phase[miniapp::kSolvePhase];
+    const auto& pc = cmp_runs[i + 1].loop.phase[miniapp::kSolvePhase];
+    if (blk.vmem_indexed_instrs != pc.vmem_indexed_instrs) {
+      // the Δunit identity needs per-column-identical paths
+      std::cout << "VS " << cmp_runs[i].point.vector_size
+                << ": paths diverged (gathers differ) — slab accounting "
+                   "skipped\n";
+      continue;
+    }
+    const double slab_pc = 2.0 * static_cast<double>(pc.vmem_indexed_instrs);
+    const double slab_blk =
+        slab_pc - (static_cast<double>(pc.vmem_unit_instrs) -
+                   static_cast<double>(blk.vmem_unit_instrs));
+    const auto& m9 = cmp_runs[i].phase_metrics[miniapp::kSolvePhase];
+    ct.add_row({std::to_string(cmp_runs[i].point.vector_size),
+                core::fmt(slab_pc, 0), core::fmt(slab_blk, 0),
+                core::fmt(slab_pc / slab_blk, 2) + "x", core::fmt(m9.avl, 1),
+                core::fmt_pct(m9.ev),
+                core::fmt(pc.total_cycles() / blk.total_cycles(), 2) + "x"});
+  }
+  std::cout << ct.to_string();
   return 0;
 }

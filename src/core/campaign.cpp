@@ -49,6 +49,7 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
   cfg.steps = point.steps;
   cfg.vector_size = point.vector_size;
   cfg.opt = point.opt;
+  cfg.blocked_momentum = point.blocked_momentum;
 
   miniapp::TimeLoop loop(mesh(point.scenario), scen, cfg);
   sim::Vpu vpu(point.machine);

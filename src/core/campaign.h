@@ -30,6 +30,9 @@ struct CampaignPoint {
   int vector_size = 240;
   int steps = 5;
   miniapp::OptLevel opt = miniapp::OptLevel::kVec1;
+  /// Phase-9 path (see TimeLoopConfig::blocked_momentum): true = fused
+  /// multi-RHS block solve, false = sequential per-component reference.
+  bool blocked_momentum = true;
 };
 
 /// One executed campaign point: the full TimeLoopResult plus the §2.2

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "solver/vkernels.h"
+
 namespace vecfd::core {
 
 namespace {
@@ -21,9 +23,15 @@ class ScopedPrecision {
 // Header and row iterate the SAME phase-count constant: deriving both from
 // miniapp::kNumInstrumentedPhases makes it impossible for them to desync
 // (they previously hard-coded `p <= 8` independently).
+// `effective_strip` sits next to `vector_size` and records the strip the
+// solve kernels actually ran at (solver::solve_effective_strip — vsetvl
+// clamps requests above vlmax), so e.g. vs=512 rows on a vlmax=256 machine
+// are no longer mislabeled.  Both row writers derive it from that one
+// function.
 void write_csv_header(std::ostream& os) {
-  os << "machine,opt,scheme,vector_size,total_cycles,total_instrs,"
-        "vector_instrs,mv,av,vcpi,avl,ev,flops,l1_misses,l2_misses";
+  os << "machine,opt,scheme,vector_size,effective_strip,total_cycles,"
+        "total_instrs,vector_instrs,mv,av,vcpi,avl,ev,flops,l1_misses,"
+        "l2_misses";
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
@@ -34,6 +42,7 @@ void write_measurement_row(std::ostream& os, const Measurement& m) {
   const ScopedPrecision prec(os);
   os << m.machine.name << ',' << to_string(m.app.opt) << ','
      << to_string(m.app.scheme) << ',' << m.app.vector_size << ','
+     << solver::solve_effective_strip(m.app.vector_size, m.machine) << ','
      << m.total_cycles << ',' << m.total.total_instrs() << ','
      << m.total.vector_instrs() << ',' << m.overall.mv << ',' << m.overall.av
      << ',' << m.overall.vcpi << ',' << m.overall.avl << ',' << m.overall.ev
@@ -52,8 +61,8 @@ void write_csv(std::ostream& os, std::span<const Measurement> ms) {
 }
 
 void write_campaign_csv_header(std::ostream& os) {
-  os << "scenario,machine,opt,vector_size,steps,total_cycles,total_instrs,"
-        "vector_instrs,mv,av,vcpi,avl,ev";
+  os << "scenario,machine,opt,vector_size,effective_strip,steps,"
+        "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev";
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
@@ -64,7 +73,8 @@ void write_campaign_row(std::ostream& os, const CampaignRun& r) {
   const ScopedPrecision prec(os);
   os << r.scenario << ',' << r.point.machine.name << ','
      << to_string(r.point.opt) << ',' << r.point.vector_size << ','
-     << r.point.steps << ',' << r.total_cycles << ','
+     << solver::solve_effective_strip(r.point.vector_size, r.point.machine)
+     << ',' << r.point.steps << ',' << r.total_cycles << ','
      << r.loop.total.total_instrs() << ',' << r.loop.total.vector_instrs()
      << ',' << r.overall.mv << ',' << r.overall.av << ',' << r.overall.vcpi
      << ',' << r.overall.avl << ',' << r.overall.ev;

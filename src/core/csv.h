@@ -17,10 +17,12 @@ namespace vecfd::core {
 /// Write the header row of `write_measurement_row`.
 void write_csv_header(std::ostream& os);
 
-/// One CSV row per measurement: machine, config, totals, §2.2 metrics and
-/// per-phase cycles/Mv/AVL for phases 1..miniapp::kNumInstrumentedPhases
-/// (ph9 is the Krylov solve; ph10/ph11 belong to the transient loop; unused
-/// phase columns are zero).
+/// One CSV row per measurement: machine, config (the requested
+/// `vector_size` plus the `effective_strip` the solve kernels actually ran
+/// at — solver::solve_effective_strip), totals, §2.2 metrics and per-phase
+/// cycles/Mv/AVL for phases 1..miniapp::kNumInstrumentedPhases (ph9 is the
+/// Krylov solve; ph10/ph11 belong to the transient loop; unused phase
+/// columns are zero).
 void write_measurement_row(std::ostream& os, const Measurement& m);
 
 /// Convenience: header + all rows.

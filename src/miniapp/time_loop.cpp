@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "fem/projection.h"
@@ -120,9 +121,25 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
   // mem/memory_hierarchy.h).  The Krylov workspaces extend the same
   // guarantee into the solvers.
   std::vector<double> vel_now(un * fem::kDim);
-  std::vector<double> u_comp(un), b(un), tmp(un);
-  std::array<std::vector<double>, fem::kDim> ustar;
-  for (auto& u : ustar) u.resize(un);
+  // Node-major component blocks (column d spans [d·nn, (d+1)·nn)): the
+  // layout the blocked phase-9/11 kernels stream; the per-component path
+  // works on the same columns through single-RHS kernels.
+  std::vector<double> u_blk(un * fem::kDim), b_blk(un * fem::kDim);
+  std::vector<double> tmp_blk(un * fem::kDim), ustar_blk(un * fem::kDim);
+  const auto col = [un](std::vector<double>& blk, int d) {
+    return std::span<double>(blk).subspan(static_cast<std::size_t>(d) * un,
+                                          un);
+  };
+  const auto ccol = [un](const std::vector<double>& blk, int d) {
+    return std::span<const double>(blk).subspan(
+        static_cast<std::size_t>(d) * un, un);
+  };
+  std::array<double, fem::kDim> ones;
+  ones.fill(1.0);
+  std::array<double, fem::kDim> minus_ones;
+  minus_ones.fill(-1.0);
+  std::array<double, fem::kDim> corr_scale;
+  corr_scale.fill(-1.0 / rho_dt);
   std::vector<double> phi(un), b_p(un);
   std::vector<double> div, grad;
   MiniAppResult ar;
@@ -166,29 +183,64 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     impose_dirichlet_rows(k_bc, fixed);
     k_ell.assign(ar.matrix);
 
-    // ---- phase 9: per-component momentum BiCGStab (9a–9c) --------------
+    // ---- phase 9: blocked multi-RHS momentum BiCGStab ------------------
+    // The kDim component systems share the operator K, so the RHS block is
+    // formed and solved with the multi-RHS kernels (one value/index slab
+    // load per strip feeding kDim gather streams); blocked_momentum = false
+    // runs the sequential 9a–9c reference on the same column buffers —
+    // bit-identical per component (DESIGN.md §5).
     {
       sim::ScopedPhase scope(vpu.profiler(), kSolvePhase);
       for (int d = 0; d < fem::kDim; ++d) {
         solver::vpack_strided(vpu, state_.unknowns_data() + d, fem::kDofs,
-                              u_comp, vs);
-        solver::vpack_strided(vpu, ar.rhs.data() + d, fem::kDim, b, vs);
-        solver::vspmv(vpu, k_ell, u_comp, tmp, vs);   // K·uⁿ
-        solver::vaxpy(vpu, 1.0, tmp, b, vs);
-        solver::vspmv(vpu, dtmass_ell, u_comp, tmp, vs);  // Mdt·uⁿ
-        solver::vaxpy(vpu, -1.0, tmp, b, vs);
-        for (int n = 0; n < nn; ++n) {  // Dirichlet rows (host)
-          if (fixed[static_cast<std::size_t>(n)]) {
-            b[static_cast<std::size_t>(n)] =
+                              col(u_blk, d), vs);
+        solver::vpack_strided(vpu, ar.rhs.data() + d, fem::kDim,
+                              col(b_blk, d), vs);
+      }
+      if (cfg_.blocked_momentum) {
+        solver::vspmv_multi(vpu, k_ell, u_blk, tmp_blk, fem::kDim, vs);
+        solver::vaxpy_multi(vpu, ones, tmp_blk, b_blk, fem::kDim, vs);
+        solver::vspmv_multi(vpu, dtmass_ell, u_blk, tmp_blk, fem::kDim, vs);
+        solver::vaxpy_multi(vpu, minus_ones, tmp_blk, b_blk, fem::kDim, vs);
+        for (int n = 0; n < nn; ++n) {  // Dirichlet rows per component (host)
+          if (!fixed[static_cast<std::size_t>(n)]) continue;
+          for (int d = 0; d < fem::kDim; ++d) {
+            b_blk[static_cast<std::size_t>(d) * un +
+                  static_cast<std::size_t>(n)] =
                 bc[static_cast<std::size_t>(n)][static_cast<std::size_t>(d)];
           }
         }
-        solver::vcopy(vpu, u_comp, ustar[static_cast<std::size_t>(d)], vs);
-        rep.momentum[static_cast<std::size_t>(d)] = solver::vbicgstab(
-            vpu, k_bc, b, ustar[static_cast<std::size_t>(d)], cfg_.momentum,
-            vs, &momentum_ws);
-        res.all_converged &=
-            rep.momentum[static_cast<std::size_t>(d)].converged;
+        solver::vcopy_multi(vpu, u_blk, ustar_blk, fem::kDim, vs);
+        auto mreps =
+            solver::vbicgstab_multi(vpu, k_bc, b_blk, ustar_blk, fem::kDim,
+                                    cfg_.momentum, vs, &momentum_ws);
+        for (int d = 0; d < fem::kDim; ++d) {
+          rep.momentum[static_cast<std::size_t>(d)] =
+              std::move(mreps[static_cast<std::size_t>(d)]);
+          res.all_converged &=
+              rep.momentum[static_cast<std::size_t>(d)].converged;
+        }
+      } else {
+        for (int d = 0; d < fem::kDim; ++d) {
+          solver::vspmv(vpu, k_ell, ccol(u_blk, d), col(tmp_blk, d), vs);
+          solver::vaxpy(vpu, 1.0, ccol(tmp_blk, d), col(b_blk, d), vs);
+          solver::vspmv(vpu, dtmass_ell, ccol(u_blk, d), col(tmp_blk, d), vs);
+          solver::vaxpy(vpu, -1.0, ccol(tmp_blk, d), col(b_blk, d), vs);
+          for (int n = 0; n < nn; ++n) {  // Dirichlet rows (host)
+            if (fixed[static_cast<std::size_t>(n)]) {
+              b_blk[static_cast<std::size_t>(d) * un +
+                    static_cast<std::size_t>(n)] =
+                  bc[static_cast<std::size_t>(n)]
+                    [static_cast<std::size_t>(d)];
+            }
+          }
+          solver::vcopy(vpu, ccol(u_blk, d), col(ustar_blk, d), vs);
+          rep.momentum[static_cast<std::size_t>(d)] = solver::vbicgstab(
+              vpu, k_bc, ccol(b_blk, d), col(ustar_blk, d), cfg_.momentum,
+              vs, &momentum_ws);
+          res.all_converged &=
+              rep.momentum[static_cast<std::size_t>(d)].converged;
+        }
       }
     }
 
@@ -197,7 +249,8 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
       for (int d = 0; d < fem::kDim; ++d) {
         vel_now[static_cast<std::size_t>(n) * fem::kDim +
                 static_cast<std::size_t>(d)] =
-            ustar[static_cast<std::size_t>(d)][static_cast<std::size_t>(n)];
+            ustar_blk[static_cast<std::size_t>(d) * un +
+                      static_cast<std::size_t>(n)];
       }
     }
     fem::assemble_weak_divergence_into(*mesh_, shape, vel_now, div);
@@ -218,10 +271,22 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     {
       sim::ScopedPhase scope(vpu.profiler(), kCorrectionPhase);
       for (int d = 0; d < fem::kDim; ++d) {
-        solver::vpack_strided(vpu, grad.data() + d, fem::kDim, b, vs);
-        solver::vjacobi_apply(vpu, lumped_inv_, b, tmp, vs);  // M_L⁻¹ Ĝφ
-        solver::vaxpy(vpu, -1.0 / rho_dt, tmp,
-                      ustar[static_cast<std::size_t>(d)], vs);
+        solver::vpack_strided(vpu, grad.data() + d, fem::kDim,
+                              col(b_blk, d), vs);
+      }
+      if (cfg_.blocked_momentum) {
+        // M_L⁻¹ Ĝφ for all components, one fused pass per kernel
+        solver::vjacobi_apply_multi(vpu, lumped_inv_, b_blk, tmp_blk,
+                                    fem::kDim, vs);
+        solver::vaxpy_multi(vpu, corr_scale, tmp_blk, ustar_blk, fem::kDim,
+                            vs);
+      } else {
+        for (int d = 0; d < fem::kDim; ++d) {
+          solver::vjacobi_apply(vpu, lumped_inv_, ccol(b_blk, d),
+                                col(tmp_blk, d), vs);  // M_L⁻¹ Ĝφ
+          solver::vaxpy(vpu, -1.0 / rho_dt, ccol(tmp_blk, d),
+                        col(ustar_blk, d), vs);
+        }
       }
     }
 
@@ -231,7 +296,8 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
       for (int d = 0; d < fem::kDim; ++d) {
         vel_now[static_cast<std::size_t>(n) * fem::kDim +
                 static_cast<std::size_t>(d)] =
-            ustar[static_cast<std::size_t>(d)][static_cast<std::size_t>(n)];
+            ustar_blk[static_cast<std::size_t>(d) * un +
+                      static_cast<std::size_t>(n)];
       }
     }
     apply_velocity_bc(vel_now, t_next);

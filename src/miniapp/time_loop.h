@@ -6,10 +6,17 @@
 //
 //   [1–8]  semi-implicit assembly of K = (ρ/Δt)M + C(uⁿ) + V and the
 //          momentum residual rhs (the existing mini-app phases)
-//   [9]    per-component momentum BiCGStab (9a–9c): form the backward-Euler
-//          RHS  b_d = rhs_d + (K − Mdt)·uⁿ_d  with instrumented ELL SpMV,
-//          impose the scenario's Dirichlet rows, solve K u*_d = b_d
-//          (Jacobi-preconditioned vbicgstab, warm-started from uⁿ)
+//   [9]    blocked multi-RHS momentum BiCGStab: the kDim component systems
+//          share ONE operator K (block-diagonal over components, DESIGN.md
+//          §2), so the backward-Euler RHS block  b_d = rhs_d + (K − Mdt)·uⁿ_d
+//          is formed with multi-RHS ELL SpMV (one value/index slab load
+//          feeding kDim gather streams), the scenario's Dirichlet rows are
+//          imposed per component, and K u*_d = b_d is solved for all
+//          components at once by Jacobi-preconditioned vbicgstab_multi,
+//          warm-started from uⁿ (DESIGN.md §5).  Per-column results are
+//          bit-for-bit those of the sequential per-component path, which
+//          stays available via TimeLoopConfig::blocked_momentum = false
+//          (the 9a–9c reference bench/multirhs_speedup compares against)
 //   [10]   pressure-Poisson CG:  L φ = −(ρ/Δt)·D u*  on the SPD stiffness
 //          operator of fem/projection.h (vcg, pinned per the scenario)
 //   [11]   BLAS-1 velocity correction  uⁿ⁺¹_d = u*_d − (Δt/ρ)·M_L⁻¹(Ĝφ)_d
@@ -49,12 +56,20 @@ struct TimeLoopConfig {
                                 .rel_tolerance = 1e-10};
   solver::SolveOptions pressure{.max_iterations = 1000,
                                 .rel_tolerance = 1e-10};
+  /// Phase 9 path: true (default) runs the fused multi-RHS block solve
+  /// (vbicgstab_multi, shared operator slabs); false runs the sequential
+  /// per-component solves 9a–9c.  Both produce bit-identical fields and
+  /// per-component reports — the flag exists for the co-design comparison
+  /// (bench/multirhs_speedup) and equivalence tests.
+  bool blocked_momentum = true;
 };
 
 /// Per-step convergence and incompressibility diagnostics.
 struct StepReport {
   double time = 0.0;  ///< t^{n+1} of this step
-  std::array<solver::SolveReport, fem::kDim> momentum;  ///< phases 9a–9c
+  /// Per-component momentum reports (phase 9) — under the blocked solve
+  /// these are the per-column reports of vbicgstab_multi.
+  std::array<solver::SolveReport, fem::kDim> momentum;
   solver::SolveReport pressure;                         ///< phase 10
   /// Lumped-L2 norm ‖div u‖ = sqrt(Σ_a D_a²/M_L[a]) of the weak divergence
   /// before (u*) and after (uⁿ⁺¹) the projection.

@@ -395,6 +395,23 @@ double Vpu::vredsum(const Vec& a) {
   return s;
 }
 
+double Vpu::vredmax(const Vec& a) {
+  require_vector("vredmax");
+  require_operands(a, "vredmax");
+  const int n = a.size();
+  // NaN-propagating max: a poisoned operand must not yield a clean scale
+  // (the scaled norm would otherwise report 0 for an all-NaN vector).
+  double m = a[0];
+  for (int i = 1; i < n; ++i) {
+    const double v = a[i];
+    m = (v > m || v != v) ? v : m;
+  }
+  record(InstrKind::kVArith, timing_.varith_cycles(n, ArithOp::kReduce), n);
+  total_.flops += n;
+  profiler_.phase(profiler_.current()).flops += n;
+  return m;
+}
+
 // --------------------------------------------------------------- control lane
 
 Vec Vpu::vsplat(double s) {

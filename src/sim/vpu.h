@@ -98,6 +98,11 @@ class Vpu {
   /// Ordered sum reduction (vfredsum); result returned to the scalar core.
   double vredsum(const Vec& a);
 
+  /// Max reduction (vfredmax); result returned to the scalar core.  NaN
+  /// operands propagate to the result.  Used by the overflow-safe scaled
+  /// norm of solver/vkernels.h.
+  double vredmax(const Vec& a);
+
   // ---- control-lane instructions -------------------------------------------
   Vec vsplat(double s);               ///< broadcast (vmv.v.f)
   Vec viota();                        ///< 0,1,2,...,vl-1 (viota.m)

@@ -14,7 +14,28 @@ double dot(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
-double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+double norm2(std::span<const double> a) {
+  const double s = dot(a, a);
+  if (s > kNormSumSqMin && s < kNormSumSqMax) {
+    return std::sqrt(s);  // common path: trustworthy one-pass sum
+  }
+  // Rare rescan: the sum overflowed (inf/NaN), underflowed toward the
+  // denormal range, or is 0 for a possibly-nonzero input.  Pick the scale
+  // ‖a‖∞ and evaluate m·sqrt(Σ(aᵢ/m)²).
+  double m = 0.0;
+  for (const double v : a) {
+    const double av = std::fabs(v);
+    if (av > m || std::isnan(av)) m = av;  // NaN-propagating max
+  }
+  if (m == 0.0) return 0.0;
+  if (std::isinf(m)) return m;  // an inf entry: the norm IS inf, not NaN
+  double ssq = 0.0;
+  for (const double v : a) {
+    const double q = v / m;
+    ssq += q * q;
+  }
+  return m * std::sqrt(ssq);
+}
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   if (x.size() != y.size()) {
@@ -53,13 +74,17 @@ void apply_precond(const std::vector<double>& dinv,
   }
 }
 
-/// Breakdown exit (see the contract in krylov.h): record the true relative
-/// residual of the current iterate so callers never see the misleading
-/// `residual == 0, converged == false` pair, and flag convergence if the
-/// breakdown happened because the residual is already below tolerance.
-SolveReport& breakdown_exit(SolveReport& rep, std::span<const double> r,
-                            double bnorm, double rel_tolerance) {
+/// Breakdown exit (see the contract in krylov.h): count the aborted
+/// iteration @p it, record the true relative residual of the current
+/// iterate so callers never see the misleading `residual == 0,
+/// converged == false` pair, and flag convergence if the breakdown happened
+/// because the residual is already below tolerance.  Keeps the
+/// `history.size() == iterations + 1` invariant on the breakdown path.
+SolveReport& breakdown_exit(SolveReport& rep, int it,
+                            std::span<const double> r, double bnorm,
+                            double rel_tolerance) {
   const double rel = norm2(r) / bnorm;
+  rep.iterations = it + 1;
   rep.residual = rel;
   rep.history.push_back(rel);
   if (rel < rel_tolerance) rep.converged = true;
@@ -78,6 +103,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
   if (bnorm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     rep.converged = true;
+    rep.history.push_back(0.0);
     return rep;
   }
   std::vector<double> dinv;
@@ -86,6 +112,13 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
   std::vector<double> r(n), z(n), p(n), ap(n);
   a.spmv(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  const double rel0 = norm2(r) / bnorm;
+  rep.residual = rel0;
+  rep.history.push_back(rel0);
+  if (rel0 < opts.rel_tolerance) {
+    rep.converged = true;
+    return rep;
+  }
   apply_precond(dinv, r, z);
   p = z;
   double rz = dot(r, z);
@@ -94,7 +127,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
     a.spmv(p, ap);
     const double pap = dot(p, ap);
     if (pap == 0.0) {
-      return breakdown_exit(rep, r, bnorm, opts.rel_tolerance);
+      return breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance);
     }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
@@ -127,6 +160,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
   if (bnorm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     rep.converged = true;
+    rep.history.push_back(0.0);
     return rep;
   }
   std::vector<double> dinv;
@@ -136,6 +170,13 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
   std::vector<double> phat(n), shat(n);
   a.spmv(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  const double rel0 = norm2(r) / bnorm;
+  rep.residual = rel0;
+  rep.history.push_back(rel0);
+  if (rel0 < opts.rel_tolerance) {
+    rep.converged = true;
+    return rep;
+  }
   r0 = r;
   double rho = 1.0;
   double alpha = 1.0;
@@ -151,7 +192,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       rho_new = dot(r, r);
       if (rho_new == 0.0) {
         // r is exactly zero: the iterate is an exact solution.
-        return breakdown_exit(rep, r, bnorm, opts.rel_tolerance);
+        return breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance);
       }
       restart = true;
     }
@@ -168,7 +209,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     a.spmv(phat, v);
     const double r0v = dot(r0, v);
     if (r0v == 0.0) {
-      return breakdown_exit(rep, r, bnorm, opts.rel_tolerance);
+      return breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance);
     }
     alpha = rho / r0v;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
@@ -187,7 +228,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       // Apply the valid half-step so x is consistent with the reported
       // residual s = b - A·(x + α·p̂).
       axpy(alpha, phat, x);
-      return breakdown_exit(rep, s, bnorm, opts.rel_tolerance);
+      return breakdown_exit(rep, it, s, bnorm, opts.rel_tolerance);
     }
     omega = dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
@@ -207,6 +248,159 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     if (omega == 0.0) break;
   }
   return rep;
+}
+
+std::vector<SolveReport> bicgstab_multi(const CsrMatrix& a,
+                                        std::span<const double> b,
+                                        std::span<double> x, int k,
+                                        const SolveOptions& opts) {
+  if (k <= 0) {
+    throw std::invalid_argument("bicgstab_multi: k must be positive");
+  }
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  if (b.size() != n * static_cast<std::size_t>(k) || x.size() != b.size()) {
+    throw std::invalid_argument("bicgstab_multi: dimension mismatch");
+  }
+  auto ccol = [n](std::span<const double> blk, int d) {
+    return blk.subspan(static_cast<std::size_t>(d) * n, n);
+  };
+  auto mcol = [n](std::span<double> blk, int d) {
+    return blk.subspan(static_cast<std::size_t>(d) * n, n);
+  };
+
+  std::vector<SolveReport> reps(static_cast<std::size_t>(k));
+  std::vector<char> active(static_cast<std::size_t>(k), 0);
+  std::vector<double> bnorm(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> rho(static_cast<std::size_t>(k), 1.0);
+  std::vector<double> alpha(static_cast<std::size_t>(k), 1.0);
+  std::vector<double> omega(static_cast<std::size_t>(k), 1.0);
+  int remaining = 0;
+
+  std::vector<double> dinv;
+  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+
+  const std::size_t cells = n * static_cast<std::size_t>(k);
+  std::vector<double> R(cells, 0.0), R0(cells, 0.0), P(cells, 0.0);
+  std::vector<double> V(cells, 0.0), S(cells, 0.0), T(cells, 0.0);
+  std::vector<double> Phat(cells, 0.0), Shat(cells, 0.0);
+
+  for (int d = 0; d < k; ++d) {
+    const std::size_t ud = static_cast<std::size_t>(d);
+    SolveReport& rep = reps[ud];
+    auto xd = mcol(x, d);
+    bnorm[ud] = norm2(ccol(b, d));
+    if (bnorm[ud] == 0.0) {
+      std::fill(xd.begin(), xd.end(), 0.0);
+      rep.converged = true;
+      rep.history.push_back(0.0);
+      continue;
+    }
+    auto rd = mcol(R, d);
+    a.spmv(xd, rd);
+    const auto bd = ccol(b, d);
+    for (std::size_t i = 0; i < n; ++i) rd[i] = bd[i] - rd[i];
+    const double rel0 = norm2(rd) / bnorm[ud];
+    rep.residual = rel0;
+    rep.history.push_back(rel0);
+    if (rel0 < opts.rel_tolerance) {
+      rep.converged = true;
+      continue;
+    }
+    std::copy(rd.begin(), rd.end(), mcol(R0, d).begin());
+    active[ud] = 1;
+    ++remaining;
+  }
+
+  auto retire = [&](int d) {
+    active[static_cast<std::size_t>(d)] = 0;
+    --remaining;
+  };
+  auto column_breakdown = [&](int d, int it, std::span<const double> res) {
+    breakdown_exit(reps[static_cast<std::size_t>(d)], it, res,
+                   bnorm[static_cast<std::size_t>(d)], opts.rel_tolerance);
+    retire(d);
+  };
+
+  for (int it = 0; it < opts.max_iterations && remaining > 0; ++it) {
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      SolveReport& rep = reps[ud];
+      auto xd = mcol(x, d);
+      auto rd = mcol(R, d);
+      auto r0d = mcol(R0, d);
+      auto pd = mcol(P, d);
+      auto vd = mcol(V, d);
+      auto sd = mcol(S, d);
+      auto td = mcol(T, d);
+      auto phatd = mcol(Phat, d);
+      auto shatd = mcol(Shat, d);
+
+      double rho_new = dot(r0d, rd);
+      bool restart = it == 0;
+      if (rho_new == 0.0) {
+        // serious breakdown: restart with r0 = r (see bicgstab above)
+        std::copy(rd.begin(), rd.end(), r0d.begin());
+        rho_new = dot(rd, rd);
+        if (rho_new == 0.0) {
+          column_breakdown(d, it, rd);
+          continue;
+        }
+        restart = true;
+      }
+      if (restart) {
+        std::copy(rd.begin(), rd.end(), pd.begin());
+      } else {
+        const double beta = (rho_new / rho[ud]) * (alpha[ud] / omega[ud]);
+        for (std::size_t i = 0; i < n; ++i) {
+          pd[i] = rd[i] + beta * (pd[i] - omega[ud] * vd[i]);
+        }
+      }
+      rho[ud] = rho_new;
+      apply_precond(dinv, pd, phatd);
+      a.spmv(phatd, vd);
+      const double r0v = dot(r0d, vd);
+      if (r0v == 0.0) {
+        column_breakdown(d, it, rd);
+        continue;
+      }
+      alpha[ud] = rho[ud] / r0v;
+      for (std::size_t i = 0; i < n; ++i) sd[i] = rd[i] - alpha[ud] * vd[i];
+      if (norm2(sd) / bnorm[ud] < opts.rel_tolerance) {
+        axpy(alpha[ud], phatd, xd);
+        rep.iterations = it + 1;
+        rep.residual = norm2(sd) / bnorm[ud];
+        rep.history.push_back(rep.residual);
+        rep.converged = true;
+        retire(d);
+        continue;
+      }
+      apply_precond(dinv, sd, shatd);
+      a.spmv(shatd, td);
+      const double tt = dot(td, td);
+      if (tt == 0.0) {
+        axpy(alpha[ud], phatd, xd);  // valid half-step (see bicgstab above)
+        column_breakdown(d, it, sd);
+        continue;
+      }
+      omega[ud] = dot(td, sd) / tt;
+      for (std::size_t i = 0; i < n; ++i) {
+        xd[i] += alpha[ud] * phatd[i] + omega[ud] * shatd[i];
+        rd[i] = sd[i] - omega[ud] * td[i];
+      }
+      const double rel = norm2(rd) / bnorm[ud];
+      rep.history.push_back(rel);
+      rep.iterations = it + 1;
+      rep.residual = rel;
+      if (rel < opts.rel_tolerance) {
+        rep.converged = true;
+        retire(d);
+        continue;
+      }
+      if (omega[ud] == 0.0) retire(d);  // ω breakdown: already reported
+    }
+  }
+  return reps;
 }
 
 }  // namespace vecfd::solver

@@ -15,20 +15,33 @@ struct SolveOptions {
   bool jacobi_precondition = true;
 };
 
-/// Breakdown-reporting contract: every exit path — convergence, iteration
-/// budget exhausted, or a Krylov breakdown (cg: p·Ap = 0; bicgstab:
-/// r₀·v = 0, t·t = 0, ω = 0, or a failed ρ restart) — leaves `residual`
-/// equal to the true relative residual ‖b − A·x‖₂ / ‖b‖₂ of the returned
-/// `x`, and appends it to `history`.  A breakdown therefore never returns
-/// the misleading `residual == 0, converged == false` pair; conversely, a
-/// breakdown with an exactly zero residual (e.g. an exact initial guess)
-/// reports `converged == true`.  On a breakdown exit `history` may hold one
-/// entry more than `iterations` completed.
+/// Reporting contract, honoured on EVERY exit path of every solver in this
+/// library (cg/bicgstab, the instrumented vcg/vbicgstab, and the multi-RHS
+/// bicgstab_multi/vbicgstab_multi per column):
+///
+///   * `residual` equals the true relative residual ‖b − A·x‖₂ / ‖b‖₂ of
+///     the returned `x` — a Krylov breakdown (cg: p·Ap = 0; bicgstab:
+///     r₀·v = 0, t·t = 0, ω = 0, or a failed ρ restart) never returns the
+///     misleading `residual == 0, converged == false` pair, and a breakdown
+///     with a residual already below tolerance (e.g. an exact initial
+///     guess) reports `converged == true`.
+///   * `history[0]` is the relative residual of the incoming iterate; every
+///     counted iteration appends exactly one entry, and a breakdown exit
+///     counts the aborted iteration (its SpMV work was spent, and for the
+///     bicgstab t·t breakdown the half-step was applied) and appends the
+///     true residual of the returned iterate.  Hence the length invariant
+///
+///         history.size() == iterations + 1   and
+///         history.back() == residual
+///
+///     holds on convergence, budget exhaustion, breakdowns and the trivial
+///     b = 0 / already-converged-guess exits alike (test_property_solvers
+///     asserts it on every path).
 struct SolveReport {
   bool converged = false;
   int iterations = 0;
   double residual = 0.0;      ///< final relative residual (see contract above)
-  std::vector<double> history;  ///< relative residual per iteration
+  std::vector<double> history;  ///< [0] initial + one entry per iteration
 };
 
 /// Conjugate gradients — for symmetric positive-definite systems (e.g. the
@@ -41,6 +54,20 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
 SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
                      std::span<double> x, const SolveOptions& opts = {});
 
+/// Multi-RHS BiCGStab: solves A·x_d = b_d for k right-hand sides sharing
+/// one operator.  @p b and @p x hold k node-major columns (column d spans
+/// [d·n, (d+1)·n)); the k recurrences are mathematically independent and
+/// advanced in lockstep, each with its own Krylov scalars and its own
+/// convergence / breakdown lifecycle, so column d returns bit-for-bit the
+/// iterate a standalone `bicgstab(a, b_d, x_d)` would — the host reference
+/// `vbicgstab_multi` (solver/vkernels.h) mirrors step for step.  A column
+/// that converges or breaks down is masked out of all further work.  One
+/// SolveReport per column, each honouring the full contract above.
+std::vector<SolveReport> bicgstab_multi(const CsrMatrix& a,
+                                        std::span<const double> b,
+                                        std::span<double> x, int k,
+                                        const SolveOptions& opts = {});
+
 /// Inverse-diagonal of @p a (the Jacobi preconditioner).
 /// @throws std::runtime_error on a zero diagonal entry.
 std::vector<double> jacobi_inverse_diagonal(const CsrMatrix& a);
@@ -52,7 +79,24 @@ void jacobi_inverse_diagonal_into(const CsrMatrix& a,
 
 // small BLAS-1 helpers shared by the solvers (exposed for tests)
 double dot(std::span<const double> a, std::span<const double> b);
+
+/// Trust bounds on the squared sum dot(a,a): a value inside them neither
+/// overflowed nor sits so deep in the denormal range that sqrt would lose
+/// the residual's precision.  Outside them (or for 0 / non-finite sums)
+/// norm2 re-scans for ‖a‖∞ and evaluates the scaled m·sqrt(Σ(aᵢ/m)²)
+/// instead.  Shared with the instrumented vnorm2 so host and Vpu paths
+/// branch identically.
+inline constexpr double kNormSumSqMin = 1e-280;
+inline constexpr double kNormSumSqMax = 1e280;
+
+/// Overflow/underflow-safe Euclidean norm.  The common path is exactly the
+/// one-pass sqrt(dot(a,a)); only when the squared sum falls outside the
+/// trust bounds above does a second ‖a‖∞ pass pick a scale, so norms of
+/// magnitude ~1e±300 stay finite (a vector containing ±inf still reports
+/// inf, and NaN propagates) and breakdown exits never misreport
+/// convergence off an inf/0 norm.
 double norm2(std::span<const double> a);
+
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
 }  // namespace vecfd::solver

@@ -1,6 +1,7 @@
 #include "solver/vkernels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace vecfd::solver {
@@ -32,12 +33,18 @@ void EllMatrix::assign(const CsrMatrix& a) {
   }
 }
 
+int solve_effective_strip(int requested, const sim::MachineConfig& machine) {
+  if (!machine.vector_enabled) return requested;  // scalar loops honour it
+  return requested <= 0 || requested > machine.vlmax ? machine.vlmax
+                                                     : requested;
+}
+
 namespace {
 
 bool vector_path(const sim::Vpu& vpu) { return vpu.config().vector_enabled; }
 
 int effective_strip(const sim::Vpu& vpu, int strip) {
-  return strip <= 0 || strip > vpu.vlmax() ? vpu.vlmax() : strip;
+  return solve_effective_strip(strip, vpu.config());
 }
 
 /// Strip-mined traversal of [0, n): fn(i, vl) sees vl = min(strip, n - i)
@@ -105,12 +112,15 @@ void bicgstab_p_update(sim::Vpu& vpu, std::span<const double> r, double beta,
   }
 }
 
-/// Breakdown exit mirroring krylov.cpp's contract, residual computed
-/// through the Vpu so the exit stays instrumented.
-SolveReport& vbreakdown_exit(sim::Vpu& vpu, SolveReport& rep,
+/// Breakdown exit mirroring krylov.cpp's contract (aborted iteration @p it
+/// counted, true residual appended — the history.size() == iterations + 1
+/// invariant), residual computed through the Vpu so the exit stays
+/// instrumented.
+SolveReport& vbreakdown_exit(sim::Vpu& vpu, SolveReport& rep, int it,
                              std::span<const double> r, double bnorm,
                              const SolveOptions& opts, int strip) {
   const double rel = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+  rep.iterations = it + 1;
   rep.residual = rel;
   rep.history.push_back(rel);
   if (rel < opts.rel_tolerance) rep.converged = true;
@@ -175,7 +185,44 @@ double vdot(sim::Vpu& vpu, std::span<const double> a,
 }
 
 double vnorm2(sim::Vpu& vpu, std::span<const double> a, int strip) {
-  return vpu.ssqrt(vdot(vpu, a, a, strip));
+  const double s = vdot(vpu, a, a, strip);
+  if (s > kNormSumSqMin && s < kNormSumSqMax) {
+    return vpu.ssqrt(s);  // common path: the one-pass sum is trustworthy
+  }
+  // Rare rescan (mirrors norm2 in krylov.cpp): instrumented ‖a‖∞ pass
+  // picks the scale, then the scaled sum — so extreme-magnitude vectors
+  // cost a second pass but ordinary solves never pay for it.
+  const int n = static_cast<int>(a.size());
+  double m = 0.0;
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const double sm = vpu.vredmax(vpu.vabs(vpu.vload(a.data() + i)));
+      if (sm > m || std::isnan(sm)) m = sm;  // NaN-propagating running max
+      vpu.sarith(1);
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double av = std::fabs(vpu.sload(a.data() + i));
+      if (av > m || std::isnan(av)) m = av;
+      vpu.sarith(1);
+    }
+  }
+  if (m == 0.0) return 0.0;
+  if (std::isinf(m)) return m;  // an inf entry: the norm IS inf, not NaN
+  double ssq = 0.0;
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      const sim::Vec q = vpu.vdiv(vpu.vload(a.data() + i), vpu.vsplat(m));
+      ssq = vpu.sadd(ssq, vpu.vredsum(vpu.vmul(q, q)));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double q = vpu.sdiv(vpu.sload(a.data() + i), m);
+      ssq = vpu.sfma(q, q, ssq);
+      vpu.sarith(1);
+    }
+  }
+  return vpu.smul(m, vpu.ssqrt(ssq));
 }
 
 void vaxpy(sim::Vpu& vpu, double alpha, std::span<const double> x,
@@ -281,6 +328,313 @@ void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
   }
 }
 
+// ---- multi-RHS (blocked) kernels --------------------------------------
+// Per-column instruction sequences are kept identical to the single-RHS
+// kernels above (same loads, same FMA order), so per-column results are
+// bit-for-bit equal; the fusion shares the strip loop and — in vspmv_multi
+// — the operator value/index slab loads across all active columns.
+
+namespace {
+
+bool col_active(std::span<const char> active, int d) {
+  return active.empty() || active[static_cast<std::size_t>(d)] != 0;
+}
+
+bool any_active(std::span<const char> active, int k) {
+  for (int d = 0; d < k; ++d) {
+    if (col_active(active, d)) return true;
+  }
+  return false;
+}
+
+/// Common multi-kernel argument validation; returns the column length n.
+std::size_t check_multi(std::size_t block_size, int k,
+                        std::span<const char> active, const char* what) {
+  if (k <= 0) {
+    throw std::invalid_argument(std::string(what) + ": k must be positive");
+  }
+  if (block_size % static_cast<std::size_t>(k) != 0) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+  if (!active.empty() && active.size() != static_cast<std::size_t>(k)) {
+    throw std::invalid_argument(std::string(what) + ": active mask size");
+  }
+  return block_size / static_cast<std::size_t>(k);
+}
+
+}  // namespace
+
+void vspmv_multi(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
+                 std::span<double> y, int k, int strip,
+                 std::span<const char> active) {
+  const std::size_t n = check_multi(y.size(), k, active, "vspmv_multi");
+  check_len(x.size(), y.size(), "vspmv_multi");
+  check_len(n, static_cast<std::size_t>(a.rows()), "vspmv_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vspmv(vpu, a, x.subspan(off, n), y.subspan(off, n), strip);
+    }
+    return;
+  }
+  std::vector<sim::Vec> acc(static_cast<std::size_t>(k));
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (col_active(active, d)) {
+        acc[static_cast<std::size_t>(d)] = vpu.vsplat(0.0);
+      }
+    }
+    for (int j = 0; j < a.width(); ++j) {
+      // ONE value/index slab load feeds every active gather/fma stream.
+      const sim::Vec vv = vpu.vload(a.vals(j) + i);
+      const sim::Vec idx = vpu.vload_i32(a.cols(j) + i);
+      for (int d = 0; d < k; ++d) {
+        if (!col_active(active, d)) continue;
+        const sim::Vec xs =
+            vpu.vgather(x.data() + static_cast<std::size_t>(d) * n, idx);
+        acc[static_cast<std::size_t>(d)] =
+            vpu.vfma(vv, xs, acc[static_cast<std::size_t>(d)]);
+        vpu.sarith(1);  // stream-loop control
+      }
+    }
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      vpu.vstore(y.data() + static_cast<std::size_t>(d) * n + i,
+                 acc[static_cast<std::size_t>(d)]);
+    }
+  });
+}
+
+void vdot_multi(sim::Vpu& vpu, std::span<const double> a,
+                std::span<const double> b, int k, std::span<double> out,
+                int strip, std::span<const char> active) {
+  const std::size_t n = check_multi(a.size(), k, active, "vdot_multi");
+  check_len(b.size(), a.size(), "vdot_multi");
+  check_len(out.size(), static_cast<std::size_t>(k), "vdot_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      out[static_cast<std::size_t>(d)] =
+          vdot(vpu, a.subspan(off, n), b.subspan(off, n), strip);
+    }
+    return;
+  }
+  for (int d = 0; d < k; ++d) {
+    if (col_active(active, d)) out[static_cast<std::size_t>(d)] = 0.0;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      const sim::Vec va = vpu.vload(a.data() + off + i);
+      const sim::Vec vb = vpu.vload(b.data() + off + i);
+      out[static_cast<std::size_t>(d)] = vpu.sadd(
+          out[static_cast<std::size_t>(d)], vpu.vredsum(vpu.vmul(va, vb)));
+    }
+  });
+}
+
+void vaxpy_multi(sim::Vpu& vpu, std::span<const double> alpha,
+                 std::span<const double> x, std::span<double> y, int k,
+                 int strip, std::span<const char> active) {
+  const std::size_t n = check_multi(y.size(), k, active, "vaxpy_multi");
+  check_len(x.size(), y.size(), "vaxpy_multi");
+  check_len(alpha.size(), static_cast<std::size_t>(k), "vaxpy_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vaxpy(vpu, alpha[static_cast<std::size_t>(d)], x.subspan(off, n),
+            y.subspan(off, n), strip);
+    }
+    return;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      const sim::Vec vy = vpu.vload(y.data() + off + i);
+      const sim::Vec vx = vpu.vload(x.data() + off + i);
+      vpu.vstore(y.data() + off + i,
+                 vpu.vfma_s(vx, alpha[static_cast<std::size_t>(d)], vy));
+    }
+  });
+}
+
+void vsub_multi(sim::Vpu& vpu, std::span<const double> a,
+                std::span<const double> b, std::span<double> out, int k,
+                int strip, std::span<const char> active) {
+  const std::size_t n = check_multi(out.size(), k, active, "vsub_multi");
+  check_len(a.size(), out.size(), "vsub_multi");
+  check_len(b.size(), out.size(), "vsub_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vsub(vpu, a.subspan(off, n), b.subspan(off, n), out.subspan(off, n),
+           strip);
+    }
+    return;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      const sim::Vec va = vpu.vload(a.data() + off + i);
+      const sim::Vec vb = vpu.vload(b.data() + off + i);
+      vpu.vstore(out.data() + off + i, vpu.vsub(va, vb));
+    }
+  });
+}
+
+void vcopy_multi(sim::Vpu& vpu, std::span<const double> src,
+                 std::span<double> dst, int k, int strip,
+                 std::span<const char> active) {
+  const std::size_t n = check_multi(dst.size(), k, active, "vcopy_multi");
+  check_len(src.size(), dst.size(), "vcopy_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vcopy(vpu, src.subspan(off, n), dst.subspan(off, n), strip);
+    }
+    return;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vpu.vstore(dst.data() + off + i, vpu.vload(src.data() + off + i));
+    }
+  });
+}
+
+void vjacobi_apply_multi(sim::Vpu& vpu, std::span<const double> dinv,
+                         std::span<const double> r, std::span<double> z,
+                         int k, int strip, std::span<const char> active) {
+  if (dinv.empty()) {
+    vcopy_multi(vpu, r, z, k, strip, active);
+    return;
+  }
+  const std::size_t n = check_multi(z.size(), k, active,
+                                    "vjacobi_apply_multi");
+  check_len(r.size(), z.size(), "vjacobi_apply_multi");
+  check_len(dinv.size(), n, "vjacobi_apply_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vjacobi_apply(vpu, dinv, r.subspan(off, n), z.subspan(off, n), strip);
+    }
+    return;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      const sim::Vec vd = vpu.vload(dinv.data() + i);
+      const sim::Vec vr = vpu.vload(r.data() + off + i);
+      vpu.vstore(z.data() + off + i, vpu.vmul(vd, vr));
+    }
+  });
+}
+
+namespace {
+
+/// out_d = base_d + scale[d]·scaled_d for every active column — the blocked
+/// axpby_into (the s / r updates of the multi solver).
+void axpby_into_multi(sim::Vpu& vpu, std::span<const double> base,
+                      std::span<const double> scale,
+                      std::span<const double> scaled, std::span<double> out,
+                      int k, int strip, std::span<const char> active) {
+  const std::size_t n = check_multi(out.size(), k, active,
+                                    "axpby_into_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      axpby_into(vpu, base.subspan(off, n), scale[static_cast<std::size_t>(d)],
+                 scaled.subspan(off, n), out.subspan(off, n), strip);
+    }
+    return;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      const sim::Vec vb = vpu.vload(base.data() + off + i);
+      const sim::Vec vs = vpu.vload(scaled.data() + off + i);
+      vpu.vstore(out.data() + off + i,
+                 vpu.vfma_s(vs, scale[static_cast<std::size_t>(d)], vb));
+    }
+  });
+}
+
+/// Blocked BiCGStab direction update: restart columns take p_d = r_d, the
+/// rest p_d = r_d + beta[d]·(p_d − omega[d]·v_d) — per-column identical to
+/// vcopy / bicgstab_p_update.
+void bicgstab_p_update_multi(sim::Vpu& vpu, std::span<const double> r,
+                             std::span<const double> beta,
+                             std::span<const double> omega,
+                             std::span<const double> v, std::span<double> p,
+                             int k, std::span<const char> restart, int strip,
+                             std::span<const char> active) {
+  const std::size_t n = check_multi(p.size(), k, active,
+                                    "bicgstab_p_update_multi");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      if (restart[static_cast<std::size_t>(d)]) {
+        vcopy(vpu, r.subspan(off, n), p.subspan(off, n), strip);
+      } else {
+        bicgstab_p_update(vpu, r.subspan(off, n),
+                          beta[static_cast<std::size_t>(d)],
+                          omega[static_cast<std::size_t>(d)],
+                          v.subspan(off, n), p.subspan(off, n), strip);
+      }
+    }
+    return;
+  }
+  for_strips(vpu, static_cast<int>(n), effective_strip(vpu, strip),
+             [&](int i, int) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      if (restart[static_cast<std::size_t>(d)]) {
+        vpu.vstore(p.data() + off + i, vpu.vload(r.data() + off + i));
+        continue;
+      }
+      const sim::Vec vp = vpu.vload(p.data() + off + i);
+      const sim::Vec vv = vpu.vload(v.data() + off + i);
+      const sim::Vec vr = vpu.vload(r.data() + off + i);
+      const sim::Vec tmp =
+          vpu.vfma_s(vv, -omega[static_cast<std::size_t>(d)], vp);
+      vpu.vstore(p.data() + off + i,
+                 vpu.vfma_s(tmp, beta[static_cast<std::size_t>(d)], vr));
+    }
+  });
+}
+
+}  // namespace
+
 SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
                 std::span<double> x, const SolveOptions& opts, int strip,
                 KrylovWorkspace* ws) {
@@ -293,6 +647,7 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   if (bnorm == 0.0) {
     vfill(vpu, x, 0.0, strip);
     rep.converged = true;
+    rep.history.push_back(0.0);
     return rep;
   }
   KrylovWorkspace local;
@@ -313,6 +668,13 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   ap.assign(n, 0.0);
   vspmv(vpu, ell, x, r, strip);
   vsub(vpu, b, r, r, strip);
+  const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+  rep.residual = rel0;
+  rep.history.push_back(rel0);
+  if (rel0 < opts.rel_tolerance) {
+    rep.converged = true;
+    return rep;
+  }
   vjacobi_apply(vpu, dinv, r, z, strip);
   vcopy(vpu, z, p, strip);
   double rz = vdot(vpu, r, z, strip);
@@ -321,7 +683,7 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
     vspmv(vpu, ell, p, ap, strip);
     const double pap = vdot(vpu, p, ap, strip);
     if (pap == 0.0) {
-      return vbreakdown_exit(vpu, rep, r, bnorm, opts, strip);
+      return vbreakdown_exit(vpu, rep, it, r, bnorm, opts, strip);
     }
     const double alpha = vpu.sdiv(rz, pap);
     vaxpy(vpu, alpha, p, x, strip);
@@ -356,6 +718,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   if (bnorm == 0.0) {
     vfill(vpu, x, 0.0, strip);
     rep.converged = true;
+    rep.history.push_back(0.0);
     return rep;
   }
   KrylovWorkspace local;
@@ -381,6 +744,13 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   shat.assign(n, 0.0);
   vspmv(vpu, ell, x, r, strip);
   vsub(vpu, b, r, r, strip);
+  const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+  rep.residual = rel0;
+  rep.history.push_back(rel0);
+  if (rel0 < opts.rel_tolerance) {
+    rep.converged = true;
+    return rep;
+  }
   vcopy(vpu, r, r0, strip);
   double rho = 1.0;
   double alpha = 1.0;
@@ -394,7 +764,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
       vcopy(vpu, r, r0, strip);
       rho_new = vdot(vpu, r, r, strip);
       if (rho_new == 0.0) {
-        return vbreakdown_exit(vpu, rep, r, bnorm, opts, strip);
+        return vbreakdown_exit(vpu, rep, it, r, bnorm, opts, strip);
       }
       restart = true;
     }
@@ -410,7 +780,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
     vspmv(vpu, ell, phat, v, strip);
     const double r0v = vdot(vpu, r0, v, strip);
     if (r0v == 0.0) {
-      return vbreakdown_exit(vpu, rep, r, bnorm, opts, strip);
+      return vbreakdown_exit(vpu, rep, it, r, bnorm, opts, strip);
     }
     alpha = vpu.sdiv(rho, r0v);
     axpby_into(vpu, r, -alpha, v, s, strip);
@@ -429,7 +799,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
     if (tt == 0.0) {
       // apply the valid half-step so x matches the reported residual s
       vaxpy(vpu, alpha, phat, x, strip);
-      return vbreakdown_exit(vpu, rep, s, bnorm, opts, strip);
+      return vbreakdown_exit(vpu, rep, it, s, bnorm, opts, strip);
     }
     omega = vpu.sdiv(vdot(vpu, t, s, strip), tt);
     vaxpy(vpu, alpha, phat, x, strip);
@@ -446,6 +816,199 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
     if (omega == 0.0) break;
   }
   return rep;
+}
+
+std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
+                                         std::span<const double> b,
+                                         std::span<double> x, int k,
+                                         const SolveOptions& opts, int strip,
+                                         KrylovWorkspace* ws) {
+  if (k <= 0) {
+    throw std::invalid_argument("vbicgstab_multi: k must be positive");
+  }
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::size_t cells = n * static_cast<std::size_t>(k);
+  if (b.size() != cells || x.size() != cells) {
+    throw std::invalid_argument("vbicgstab_multi: dimension mismatch");
+  }
+  auto bcol = [&](int d) {
+    return b.subspan(static_cast<std::size_t>(d) * n, n);
+  };
+  auto xcol = [&](int d) {
+    return x.subspan(static_cast<std::size_t>(d) * n, n);
+  };
+  auto ccol = [&](const std::vector<double>& blk, int d) {
+    return std::span<const double>(blk).subspan(
+        static_cast<std::size_t>(d) * n, n);
+  };
+  auto mcol = [&](std::vector<double>& blk, int d) {
+    return std::span<double>(blk).subspan(static_cast<std::size_t>(d) * n, n);
+  };
+
+  const std::size_t uk = static_cast<std::size_t>(k);
+  std::vector<SolveReport> reps(uk);
+  std::vector<char> active(uk, 0);
+  std::vector<char> restart(uk, 0);
+  std::vector<double> bnorm(uk, 0.0), rho(uk, 1.0), alpha(uk, 1.0);
+  std::vector<double> omega(uk, 1.0), scal(uk, 0.0), ts(uk, 0.0);
+  std::vector<double> beta(uk, 0.0), negscale(uk, 0.0);
+  int remaining = 0;
+
+  for (int d = 0; d < k; ++d) {
+    bnorm[static_cast<std::size_t>(d)] = vnorm2(vpu, bcol(d), strip);
+    if (bnorm[static_cast<std::size_t>(d)] == 0.0) {
+      vfill(vpu, xcol(d), 0.0, strip);
+      reps[static_cast<std::size_t>(d)].converged = true;
+      reps[static_cast<std::size_t>(d)].history.push_back(0.0);
+    } else {
+      active[static_cast<std::size_t>(d)] = 1;
+      ++remaining;
+    }
+  }
+  if (remaining == 0) return reps;
+
+  KrylovWorkspace local;
+  if (ws == nullptr) ws = &local;
+  std::vector<double>& dinv = ws->dinv;
+  if (opts.jacobi_precondition) {
+    jacobi_inverse_diagonal_into(a, dinv);
+  } else {
+    dinv.clear();
+  }
+  ws->ell.assign(a);
+  const EllMatrix& ell = ws->ell;
+
+  std::vector<double>&R = ws->r, &R0 = ws->z, &P = ws->p, &V = ws->q;
+  std::vector<double>&S = ws->s, &T = ws->t, &Phat = ws->u, &Shat = ws->w;
+  R.assign(cells, 0.0);
+  R0.assign(cells, 0.0);
+  P.assign(cells, 0.0);
+  V.assign(cells, 0.0);
+  S.assign(cells, 0.0);
+  T.assign(cells, 0.0);
+  Phat.assign(cells, 0.0);
+  Shat.assign(cells, 0.0);
+
+  auto retire = [&](int d) {
+    active[static_cast<std::size_t>(d)] = 0;
+    --remaining;
+  };
+
+  vspmv_multi(vpu, ell, x, R, k, strip, active);
+  vsub_multi(vpu, b, R, R, k, strip, active);
+  for (int d = 0; d < k; ++d) {
+    const std::size_t ud = static_cast<std::size_t>(d);
+    if (!active[ud]) continue;
+    const double rel0 = vpu.sdiv(vnorm2(vpu, ccol(R, d), strip), bnorm[ud]);
+    reps[ud].residual = rel0;
+    reps[ud].history.push_back(rel0);
+    if (rel0 < opts.rel_tolerance) {
+      reps[ud].converged = true;
+      retire(d);
+    }
+  }
+  if (remaining > 0) vcopy_multi(vpu, R, R0, k, strip, active);
+
+  auto column_breakdown = [&](int d, int it, std::span<const double> res) {
+    vbreakdown_exit(vpu, reps[static_cast<std::size_t>(d)], it, res,
+                    bnorm[static_cast<std::size_t>(d)], opts, strip);
+    retire(d);
+  };
+
+  for (int it = 0; it < opts.max_iterations && remaining > 0; ++it) {
+    vdot_multi(vpu, R0, R, k, scal, strip, active);  // per-column ρ
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      restart[ud] = it == 0 ? 1 : 0;
+      if (scal[ud] == 0.0) {
+        // serious breakdown in column d: restart with r0 = r (see krylov.cpp)
+        vcopy(vpu, ccol(R, d), mcol(R0, d), strip);
+        scal[ud] = vdot(vpu, ccol(R, d), ccol(R, d), strip);
+        if (scal[ud] == 0.0) {
+          column_breakdown(d, it, ccol(R, d));
+          continue;
+        }
+        restart[ud] = 1;
+      }
+      if (!restart[ud]) {
+        beta[ud] = vpu.smul(vpu.sdiv(scal[ud], rho[ud]),
+                            vpu.sdiv(alpha[ud], omega[ud]));
+      }
+      rho[ud] = scal[ud];
+    }
+    if (remaining == 0) break;
+    bicgstab_p_update_multi(vpu, R, beta, omega, V, P, k, restart, strip,
+                            active);
+    vjacobi_apply_multi(vpu, dinv, P, Phat, k, strip, active);
+    vspmv_multi(vpu, ell, Phat, V, k, strip, active);
+    vdot_multi(vpu, R0, V, k, scal, strip, active);  // per-column r₀·v
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      if (scal[ud] == 0.0) {
+        column_breakdown(d, it, ccol(R, d));
+        continue;
+      }
+      alpha[ud] = vpu.sdiv(rho[ud], scal[ud]);
+      negscale[ud] = -alpha[ud];
+    }
+    if (remaining == 0) break;
+    axpby_into_multi(vpu, R, negscale, V, S, k, strip, active);  // s = r − αv
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      const double srel =
+          vpu.sdiv(vnorm2(vpu, ccol(S, d), strip), bnorm[ud]);
+      if (srel < opts.rel_tolerance) {
+        vaxpy(vpu, alpha[ud], ccol(Phat, d), xcol(d), strip);
+        reps[ud].iterations = it + 1;
+        reps[ud].residual = srel;
+        reps[ud].history.push_back(srel);
+        reps[ud].converged = true;
+        retire(d);
+      }
+    }
+    if (remaining == 0) break;
+    vjacobi_apply_multi(vpu, dinv, S, Shat, k, strip, active);
+    vspmv_multi(vpu, ell, Shat, T, k, strip, active);
+    vdot_multi(vpu, T, T, k, scal, strip, active);  // per-column t·t
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      if (scal[ud] == 0.0) {
+        // apply the valid half-step so x matches the reported residual s
+        vaxpy(vpu, alpha[ud], ccol(Phat, d), xcol(d), strip);
+        column_breakdown(d, it, ccol(S, d));
+      }
+    }
+    if (remaining == 0) break;
+    vdot_multi(vpu, T, S, k, ts, strip, active);
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      omega[ud] = vpu.sdiv(ts[ud], scal[ud]);
+      negscale[ud] = -omega[ud];
+    }
+    vaxpy_multi(vpu, alpha, Phat, x, k, strip, active);
+    vaxpy_multi(vpu, omega, Shat, x, k, strip, active);
+    axpby_into_multi(vpu, S, negscale, T, R, k, strip, active);  // r = s − ωt
+    for (int d = 0; d < k; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (!active[ud]) continue;
+      const double rel = vpu.sdiv(vnorm2(vpu, ccol(R, d), strip), bnorm[ud]);
+      reps[ud].history.push_back(rel);
+      reps[ud].iterations = it + 1;
+      reps[ud].residual = rel;
+      if (rel < opts.rel_tolerance) {
+        reps[ud].converged = true;
+        retire(d);
+        continue;
+      }
+      if (omega[ud] == 0.0) retire(d);  // ω breakdown: already reported
+    }
+  }
+  return reps;
 }
 
 }  // namespace vecfd::solver

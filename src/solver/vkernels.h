@@ -74,6 +74,15 @@ class EllMatrix {
   std::vector<std::int32_t> cols_;  // [width][rows]
 };
 
+/// The strip length the solve kernels actually run at for a requested
+/// VECTOR_SIZE on @p machine: on a vector machine a request of <= 0 or
+/// > vlmax is granted vlmax (the vsetvl clamp); a scalar-only machine runs
+/// instrumented scalar loops, so the request passes through untouched.
+/// Single source of truth for the `effective_strip` CSV column — sweep rows
+/// for e.g. VECTOR_SIZE 512 on a vlmax = 256 machine are otherwise
+/// mislabeled, since every kernel silently ran at 256.
+int solve_effective_strip(int requested, const sim::MachineConfig& machine);
+
 // ---- instrumented kernels ---------------------------------------------
 // All lengths must match; dimension mismatches throw std::invalid_argument.
 
@@ -83,6 +92,15 @@ void vspmv(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
 
 double vdot(sim::Vpu& vpu, std::span<const double> a,
             std::span<const double> b, int strip = 0);
+
+/// Overflow/underflow-safe ‖a‖₂, branching on the same kNormSumSqMin/Max
+/// trust bounds as the host norm2 (krylov.h): the common path is the
+/// one-pass sqrt(vdot(a,a)); only a suspect squared sum (overflowed,
+/// near-denormal, zero, or non-finite) triggers an instrumented ‖a‖∞
+/// rescan (vabs + vredmax) and the scaled m·sqrt(Σ(aᵢ/m)²) evaluation —
+/// norms of ~1e±300 vectors stay finite, so breakdown exits never
+/// misreport convergence off an inf/0 norm, and ordinary solves pay
+/// nothing.  The scalar fallback computes identical values.
 double vnorm2(sim::Vpu& vpu, std::span<const double> a, int strip = 0);
 
 /// y += alpha·x
@@ -112,6 +130,57 @@ void vjacobi_apply(sim::Vpu& vpu, std::span<const double> dinv,
 void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
                    std::span<double> out, int strip = 0);
 
+// ---- multi-RHS (blocked) kernels --------------------------------------
+// A "block" is k same-length columns stored node-major: column d occupies
+// [d·n, (d+1)·n) of the span, so every column is a unit-stride stream and
+// each column's instruction sequence is identical to the single-RHS kernel
+// above (per-column results are bit-for-bit equal).  The lever is the
+// shared operator: vspmv_multi walks each ELL (value, index) slab with ONE
+// unit-stride vload pair per strip and feeds all k gather/fma streams from
+// it — k× fewer operator slab loads than k single SpMVs (DESIGN.md §5).
+// The BLAS-1 _multi kernels fuse the k columns into a single strip-mined
+// pass (one vsetvl / loop-control sequence per strip for all columns),
+// returning per-column results.
+//
+// All take an optional `active` mask of size k (empty = all active):
+// inactive columns are neither read nor written — the solvers mask out
+// converged/broken-down columns so their iterates stay frozen exactly as a
+// standalone solve would leave them.  On a scalar-only machine every multi
+// kernel degrades to the single-RHS scalar fallback per active column.
+
+/// Y_d = A·X_d for every active column (shared slab loads, k gather/fma
+/// streams).
+void vspmv_multi(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
+                 std::span<double> y, int k, int strip = 0,
+                 std::span<const char> active = {});
+
+/// out[d] = A_d · B_d (single fused pass; inactive columns keep out[d]).
+void vdot_multi(sim::Vpu& vpu, std::span<const double> a,
+                std::span<const double> b, int k, std::span<double> out,
+                int strip = 0, std::span<const char> active = {});
+
+/// Y_d += alpha[d]·X_d (per-column scalars, single fused pass).
+void vaxpy_multi(sim::Vpu& vpu, std::span<const double> alpha,
+                 std::span<const double> x, std::span<double> y, int k,
+                 int strip = 0, std::span<const char> active = {});
+
+/// out_d = A_d − B_d (out may alias either input).
+void vsub_multi(sim::Vpu& vpu, std::span<const double> a,
+                std::span<const double> b, std::span<double> out, int k,
+                int strip = 0, std::span<const char> active = {});
+
+void vcopy_multi(sim::Vpu& vpu, std::span<const double> src,
+                 std::span<double> dst, int k, int strip = 0,
+                 std::span<const char> active = {});
+
+/// Z_d = dinv ⊙ R_d — the ONE shared Jacobi diagonal applied per column.
+/// The diagonal is re-loaded per column (cache-hot), keeping each column's
+/// instruction stream identical to vjacobi_apply; an empty dinv copies.
+void vjacobi_apply_multi(sim::Vpu& vpu, std::span<const double> dinv,
+                         std::span<const double> r, std::span<double> z,
+                         int k, int strip = 0,
+                         std::span<const char> active = {});
+
 // ---- instrumented Krylov solvers --------------------------------------
 // Step-for-step mirrors of krylov.h's cg / bicgstab, including the Jacobi
 // preconditioner and the breakdown-reporting contract.  The CSR operator is
@@ -125,7 +194,11 @@ void vpack_strided(sim::Vpu& vpu, const double* base, std::ptrdiff_t stride,
 /// host lines in first-touch order, so alloc/free churn of touched lines
 /// would make cache behaviour depend on allocator history (see
 /// mem/memory_hierarchy.h).  Buffers grow on first use and are reused (no
-/// reallocation) when system sizes repeat.
+/// reallocation) when system sizes repeat.  The multi-RHS solver sizes the
+/// same work vectors to k·n, so one workspace must not alternate between
+/// single- and multi-RHS solves of different block sizes within a
+/// measurement (the resize would be exactly the mid-measurement
+/// realloc churn the workspace exists to prevent).
 struct KrylovWorkspace {
   EllMatrix ell;
   std::vector<double> dinv;
@@ -140,5 +213,23 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
                       std::span<const double> b, std::span<double> x,
                       const SolveOptions& opts = {}, int strip = 0,
                       KrylovWorkspace* ws = nullptr);
+
+/// Multi-RHS mirror of the host bicgstab_multi (krylov.h), built on the
+/// blocked kernels above: k node-major columns advance in lockstep, the
+/// k Krylov recurrences stay independent (per-column scalars, convergence
+/// and breakdown lifecycle — one SolveReport per column under the full
+/// krylov.h contract), and every ELL slab streamed by the two SpMVs per
+/// iteration is loaded once for all active columns instead of once per
+/// column.  Column d returns bit-for-bit the iterate of a standalone
+/// vbicgstab(a, b_d, x_d) at the same strip — the transient TimeLoop's
+/// phase-9 blocked momentum solve rests on that equivalence.  The
+/// workspace's block buffers size to k·n; as with the single-RHS solvers,
+/// one workspace must serve the whole measurement.
+std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
+                                         std::span<const double> b,
+                                         std::span<double> x, int k,
+                                         const SolveOptions& opts = {},
+                                         int strip = 0,
+                                         KrylovWorkspace* ws = nullptr);
 
 }  // namespace vecfd::solver

@@ -1,0 +1,26 @@
+// Shared test helper: the scenario library at test size.  Every suite that
+// sweeps all scenarios (campaign, conservation, multi-RHS equivalence)
+// shrinks the meshes the same way, so "all scenarios at test size" means
+// the same thing everywhere.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "miniapp/scenarios.h"
+
+namespace vecfd::testsupport {
+
+/// Every scenario with its mesh halved per axis (floor 3 elements), so the
+/// full scenario × platform grids stay test-sized.
+inline std::vector<miniapp::Scenario> small_scenarios() {
+  auto scens = miniapp::all_scenarios();
+  for (auto& s : scens) {
+    s.mesh.nx = std::max(3, s.mesh.nx / 2);
+    s.mesh.ny = std::max(3, s.mesh.ny / 2);
+    s.mesh.nz = std::max(3, s.mesh.nz / 2);
+  }
+  return scens;
+}
+
+}  // namespace vecfd::testsupport

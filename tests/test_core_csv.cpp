@@ -42,12 +42,45 @@ TEST(Csv, HeaderAndRowHaveSameArity) {
   const auto h = split(header);
   const auto r = split(row);
   EXPECT_EQ(h.size(), r.size());
-  // 15 scalar columns + 11 phases x 3 (8 assembly + momentum solve +
-  // pressure solve + correction), both derived from
+  // 16 scalar columns (incl. effective_strip) + 11 phases x 3 (8 assembly
+  // + momentum solve + pressure solve + correction), both derived from
   // miniapp::kNumInstrumentedPhases
-  EXPECT_EQ(h.size(), 15u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  EXPECT_EQ(h.size(), 16u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
   EXPECT_NE(header.find("ph9_cycles"), std::string::npos);
   EXPECT_NE(header.find("ph11_avl"), std::string::npos);
+}
+
+// Regression: a requested VECTOR_SIZE above vlmax is clamped by vsetvl
+// inside every solve kernel (solver::solve_effective_strip); the row must
+// carry the strip that actually ran next to the requested size, not
+// mislabel e.g. a vs=512 sweep point on a vlmax=256 machine.
+TEST(Csv, EffectiveStripRecordsTheClampedStrip) {
+  Fixture f;
+  const Experiment ex(f.mesh, f.state);
+  vecfd::miniapp::MiniAppConfig cfg;
+  cfg.vector_size = 512;
+
+  const auto vec = vecfd::platforms::riscv_vec();
+  ASSERT_LT(vec.vlmax, 512);  // the premise of the mislabeling bug
+  std::ostringstream os;
+  vecfd::core::write_measurement_row(os, ex.run(vec, cfg));
+  auto r = split(os.str());
+  EXPECT_EQ(r[3], "512");                             // requested
+  EXPECT_EQ(r[4], std::to_string(vec.vlmax));         // actually ran
+
+  // at or below vlmax the strip passes through...
+  cfg.vector_size = 64;
+  std::ostringstream os2;
+  vecfd::core::write_measurement_row(os2, ex.run(vec, cfg));
+  EXPECT_EQ(split(os2.str())[4], "64");
+
+  // ...and a scalar-only machine runs scalar loops honouring the request
+  cfg.vector_size = 512;
+  std::ostringstream os3;
+  vecfd::core::write_measurement_row(
+      os3, ex.run(vecfd::platforms::riscv_vec_scalar(), cfg));
+  EXPECT_EQ(split(os3.str())[4], "512");
 }
 
 TEST(Csv, SolveRunPopulatesPhase9Columns) {
@@ -62,8 +95,8 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   std::ostringstream os_off;
   vecfd::core::write_measurement_row(os_off, off);
   const auto r_off = split(os_off.str());
-  ASSERT_EQ(r_off.size(), 15u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
-  EXPECT_DOUBLE_EQ(std::stod(r_off[15 + 24]), 0.0);  // ph9_cycles
+  ASSERT_EQ(r_off.size(), 16u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  EXPECT_DOUBLE_EQ(std::stod(r_off[16 + 24]), 0.0);  // ph9_cycles
 
   // ...and a --solve run fills them, same arity as the header
   cfg.run_solve = true;
@@ -79,8 +112,8 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   const auto h = split(header);
   const auto r_on = split(row);
   EXPECT_EQ(h.size(), r_on.size());
-  EXPECT_GT(std::stod(r_on[15 + 24]), 0.0);                    // ph9_cycles
-  EXPECT_NEAR(std::stod(r_on[15 + 26]), on.phase_metrics[9].avl, 1e-9);
+  EXPECT_GT(std::stod(r_on[16 + 24]), 0.0);                    // ph9_cycles
+  EXPECT_NEAR(std::stod(r_on[16 + 26]), on.phase_metrics[9].avl, 1e-9);
 }
 
 TEST(Csv, RowCarriesIdentityAndMetrics) {
@@ -98,9 +131,10 @@ TEST(Csv, RowCarriesIdentityAndMetrics) {
   EXPECT_EQ(r[1], "IVEC2");
   EXPECT_EQ(r[2], "explicit");
   EXPECT_EQ(r[3], "16");
-  EXPECT_GT(std::stod(r[4]), 0.0);                      // cycles
-  EXPECT_NEAR(std::stod(r[7]), m.overall.mv, 1e-9);     // mv
-  EXPECT_NEAR(std::stod(r[10]), m.overall.avl, 1e-9);   // avl
+  EXPECT_EQ(r[4], "16");                                // effective strip
+  EXPECT_GT(std::stod(r[5]), 0.0);                      // cycles
+  EXPECT_NEAR(std::stod(r[8]), m.overall.mv, 1e-9);     // mv
+  EXPECT_NEAR(std::stod(r[11]), m.overall.avl, 1e-9);   // avl
 }
 
 TEST(Csv, WriteCsvEmitsAllRows) {

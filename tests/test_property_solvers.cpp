@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -85,7 +86,9 @@ double true_relative_residual(const CsrMatrix& a,
   return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
 }
 
-/// The krylov.h residual contract, checked against a recomputed residual.
+/// The krylov.h residual contract, checked against a recomputed residual,
+/// plus the length invariant: history[0] initial + one entry per counted
+/// iteration, so history.size() == iterations + 1 on EVERY exit path.
 void expect_contract(const SolveReport& rep, const CsrMatrix& a,
                      const std::vector<double>& b,
                      const std::vector<double>& x, const SolveOptions& opts,
@@ -96,10 +99,10 @@ void expect_contract(const SolveReport& rep, const CsrMatrix& a,
   if (rep.converged) {
     EXPECT_LT(rep.residual, opts.rel_tolerance) << what;
   }
-  if (rep.iterations > 0) {
-    ASSERT_FALSE(rep.history.empty()) << what;
-    EXPECT_DOUBLE_EQ(rep.history.back(), rep.residual) << what;
-  }
+  ASSERT_EQ(rep.history.size(),
+            static_cast<std::size_t>(rep.iterations) + 1u)
+      << what;
+  EXPECT_DOUBLE_EQ(rep.history.back(), rep.residual) << what;
 }
 
 TEST(PropertySolvers, SpdSystemsOnAllPlatforms) {
@@ -201,6 +204,171 @@ TEST(PropertySolvers, BreakdownExitKeepsResidualTruthful) {
     EXPECT_FALSE(rep.converged) << what;
     ASSERT_FALSE(rep.history.empty()) << what;
     expect_contract(rep, a, b, x, opts, what);
+  }
+}
+
+TEST(PropertySolvers, HistoryLengthInvariantOnEveryExitPath) {
+  // One report per exit class; the invariant history.size() == iterations+1
+  // (and back() == residual) must hold on all of them, for host and Vpu.
+  std::mt19937 rng(777);
+  const int n = 48;
+  const CsrMatrix a = random_system(n, 3, /*spd=*/true, rng);
+  const std::vector<double> b = random_vector(n, rng);
+
+  auto expect_invariant = [](const SolveReport& rep, const std::string& what) {
+    ASSERT_EQ(rep.history.size(),
+              static_cast<std::size_t>(rep.iterations) + 1u)
+        << what;
+    EXPECT_DOUBLE_EQ(rep.history.back(), rep.residual) << what;
+  };
+
+  // convergence exit
+  std::vector<double> x1(static_cast<std::size_t>(n), 0.0);
+  expect_invariant(solver::cg(a, b, x1, {}), "cg converged");
+  // budget exit
+  std::vector<double> x2(static_cast<std::size_t>(n), 0.0);
+  expect_invariant(
+      solver::cg(a, b, x2, {.max_iterations = 1, .rel_tolerance = 1e-30}),
+      "cg budget");
+  // zero-RHS exit
+  std::vector<double> x3 = random_vector(n, rng);
+  const std::vector<double> zero(static_cast<std::size_t>(n), 0.0);
+  expect_invariant(solver::bicgstab(a, zero, x3, {}), "bicgstab zero rhs");
+  // already-converged initial guess
+  std::vector<double> xref = random_vector(n, rng);
+  std::vector<double> bx(static_cast<std::size_t>(n));
+  a.spmv(xref, bx);
+  std::vector<double> x4 = xref;
+  const SolveReport exact = solver::bicgstab(a, bx, x4, {});
+  EXPECT_EQ(exact.iterations, 0);
+  expect_invariant(exact, "bicgstab exact guess");
+
+  // breakdown exit (cg: p·Ap = 0 on diag(1,-1)), host and every platform
+  CsrMatrix ind(std::vector<std::vector<int>>(2));
+  ind.add(0, 0, 1.0);
+  ind.add(1, 1, -1.0);
+  const std::vector<double> b2{1.0, 1.0};
+  std::vector<double> x5(2, 0.0);
+  const SolveReport broke = solver::cg(ind, b2, x5, {});
+  EXPECT_FALSE(broke.converged);
+  EXPECT_EQ(broke.iterations, 1);  // the aborted iteration is counted
+  expect_invariant(broke, "cg breakdown");
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    std::vector<double> x(2, 0.0);
+    expect_invariant(solver::vcg(vpu, ind, b2, x, {}, 2),
+                     std::string("vcg breakdown on ") + m.name);
+  }
+}
+
+TEST(PropertySolvers, ScaledNormHandlesExtremeMagnitudes) {
+  // ‖a‖₂ via sqrt(dot(a,a)) overflows to inf for entries ≳ 1e154 and
+  // underflows to 0 for entries ≲ 1e-162 — either corrupts every relative
+  // residual computed from it.  The scaled norm must return the
+  // analytically known value on host and on all four platforms.
+  const int n = 37;
+  for (const double mag : {1e160, 1e-160, 1e300, 1e-300, 1.0}) {
+    std::vector<double> v(static_cast<std::size_t>(n), mag);
+    v[3] = -mag;  // sign mix
+    const double expect = mag * std::sqrt(static_cast<double>(n));
+    EXPECT_NEAR(solver::norm2(v) / expect, 1.0, 1e-12) << "host mag " << mag;
+    for (const auto& m : kMachines) {
+      sim::Vpu vpu(m);
+      const double got = solver::vnorm2(vpu, v, 16);
+      EXPECT_NEAR(got / expect, 1.0, 1e-12) << m.name << " mag " << mag;
+    }
+  }
+  // exact zero stays exact
+  const std::vector<double> z(8, 0.0);
+  EXPECT_DOUBLE_EQ(solver::norm2(z), 0.0);
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    EXPECT_DOUBLE_EQ(solver::vnorm2(vpu, z, 4), 0.0) << m.name;
+  }
+  // an inf entry yields inf (not NaN through inf/inf scaling), NaN
+  // propagates instead of collapsing to a clean 0
+  std::vector<double> vinf(8, 1.0);
+  vinf[5] = std::numeric_limits<double>::infinity();
+  std::vector<double> vnan(8, 1e200);  // scaled path with a poisoned entry
+  vnan[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isinf(solver::norm2(vinf)));
+  EXPECT_TRUE(std::isnan(solver::norm2(vnan)));
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    EXPECT_TRUE(std::isinf(solver::vnorm2(vpu, vinf, 4))) << m.name;
+    EXPECT_TRUE(std::isnan(solver::vnorm2(vpu, vnan, 4))) << m.name;
+  }
+}
+
+TEST(PropertySolvers, TinyRhsNoLongerMisreportsConvergence) {
+  // Regression for the norm underflow: with ‖b‖∞ ~ 1e-200 the unscaled
+  // bnorm = sqrt(dot(b,b)) was exactly 0, so the solvers took the zero-RHS
+  // exit and reported x = 0 as "converged, residual 0" — while the true
+  // relative residual of x = 0 against this nonzero b is 1.  With the
+  // scaled norm the report is truthful on every platform: the underflowing
+  // dot products break the recurrence immediately, and the breakdown exit
+  // carries the real residual of the returned iterate.
+  const int n = 16;
+  CsrMatrix a(std::vector<std::vector<int>>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) a.add(i, i, 2.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 1e-200);
+  b[3] = -1e-200;
+  const SolveOptions opts;
+
+  std::vector<double> x_host(static_cast<std::size_t>(n), 0.0);
+  const SolveReport host = solver::cg(a, b, x_host, opts);
+  EXPECT_FALSE(host.converged);
+  EXPECT_NEAR(host.residual, 1.0, 1e-12);
+  ASSERT_EQ(host.history.size(),
+            static_cast<std::size_t>(host.iterations) + 1u);
+
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    const SolveReport rep = solver::vcg(vpu, a, b, x, opts, 8);
+    const std::string what = std::string("tiny-b vcg on ") + m.name;
+    EXPECT_FALSE(rep.converged) << what;
+    EXPECT_NEAR(rep.residual, 1.0, 1e-12) << what;
+    ASSERT_EQ(rep.history.size(),
+              static_cast<std::size_t>(rep.iterations) + 1u)
+        << what;
+  }
+}
+
+TEST(PropertySolvers, MultiRhsColumnsHonourTheContractOnAllPlatforms) {
+  // k independent columns through the blocked solver: every column's
+  // report must satisfy the same contract as a standalone solve, on every
+  // exit path the columns individually take.
+  std::mt19937 rng(2025);
+  const int n = 45;
+  const int k = 3;
+  const CsrMatrix a = random_system(n, 4, /*spd=*/false, rng);
+  std::vector<double> B(static_cast<std::size_t>(n) * k);
+  for (double& v : B) {
+    v = std::uniform_real_distribution<double>(-1.0, 1.0)(rng);
+  }
+  const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+
+  for (const auto& m : kMachines) {
+    sim::Vpu vpu(m);
+    std::vector<double> X(static_cast<std::size_t>(n) * k, 0.0);
+    const auto reps = solver::vbicgstab_multi(vpu, a, B, X, k, opts, 48);
+    ASSERT_EQ(reps.size(), static_cast<std::size_t>(k));
+    for (int d = 0; d < k; ++d) {
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      const std::vector<double> bd(B.begin() + static_cast<std::ptrdiff_t>(off),
+                                   B.begin() + static_cast<std::ptrdiff_t>(off + n));
+      const std::vector<double> xd(X.begin() + static_cast<std::ptrdiff_t>(off),
+                                   X.begin() + static_cast<std::ptrdiff_t>(off + n));
+      const std::string what = std::string("multi col ") + std::to_string(d) +
+                               " on " + m.name;
+      EXPECT_TRUE(reps[static_cast<std::size_t>(d)].converged) << what;
+      expect_contract(reps[static_cast<std::size_t>(d)], a, bd, xd, opts,
+                      what);
+    }
+    if (!m.vector_enabled) {
+      EXPECT_EQ(vpu.counters().vector_instrs(), 0u) << m.name;
+    }
   }
 }
 

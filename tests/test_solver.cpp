@@ -122,8 +122,12 @@ TEST(Cg, ResidualHistoryIsRecorded) {
   std::vector<double> x(32, 0.0);
   const auto rep = cg(a, b, x);
   EXPECT_TRUE(rep.converged);
-  EXPECT_EQ(static_cast<int>(rep.history.size()), rep.iterations);
+  // history[0] is the initial residual (1 for a zero guess), then one
+  // entry per iteration — the krylov.h length invariant
+  ASSERT_EQ(static_cast<int>(rep.history.size()), rep.iterations + 1);
+  EXPECT_DOUBLE_EQ(rep.history.front(), 1.0);
   EXPECT_LT(rep.history.back(), rep.history.front());
+  EXPECT_DOUBLE_EQ(rep.history.back(), rep.residual);
 }
 
 TEST(Cg, ZeroRhsGivesZeroSolution) {
@@ -194,10 +198,11 @@ TEST(Cg, BreakdownReportsTruthfulResidual) {
   std::vector<double> x(2, 0.0);
   const auto rep = cg(a, b, x);  // p·Ap == 0 immediately
   EXPECT_FALSE(rep.converged);
-  EXPECT_EQ(rep.iterations, 0);
+  // the aborted first iteration is counted (see the krylov.h contract)
+  EXPECT_EQ(rep.iterations, 1);
+  ASSERT_EQ(rep.history.size(), 2u);  // initial residual + breakdown exit
   // nothing was solved: the true relative residual is ‖b‖/‖b‖ = 1
   EXPECT_NEAR(rep.residual, 1.0, 1e-14);
-  ASSERT_FALSE(rep.history.empty());
   EXPECT_NEAR(rep.history.back(), 1.0, 1e-14);
 }
 

@@ -1,0 +1,128 @@
+// Counter-conservation invariants of the transient time loop: nothing the
+// Vpu charges may leak out of the per-step / per-phase accounting.  For
+// every scenario × platform:
+//
+//   * Σ StepReport::cycles == TimeLoopResult::cycles (the per-step deltas
+//     tile the run exactly);
+//   * Σ_{p=0..kNumInstrumentedPhases} phase[p] == total, field by field
+//     (instruction classes, cycles, vl_sum, FLOPs, cache misses).
+//
+// This pins down the whole class of mid-measurement accounting bugs (work
+// charged outside its phase, double-counted deltas, phase snapshots taken
+// mid-kernel) that previously had to be chased by hand.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "miniapp/time_loop.h"
+#include "platforms/platforms.h"
+#include "scenario_support.h"
+
+namespace {
+
+using namespace vecfd;
+using testsupport::small_scenarios;
+
+const sim::MachineConfig kMachines[] = {
+    platforms::riscv_vec(), platforms::riscv_vec_scalar(),
+    platforms::sx_aurora(), platforms::mn4_avx512()};
+
+void expect_counters_equal(const sim::Counters& got, const sim::Counters& want,
+                           const std::string& what) {
+  EXPECT_EQ(got.scalar_alu_instrs, want.scalar_alu_instrs) << what;
+  EXPECT_EQ(got.scalar_mem_instrs, want.scalar_mem_instrs) << what;
+  EXPECT_EQ(got.vconfig_instrs, want.vconfig_instrs) << what;
+  EXPECT_EQ(got.varith_instrs, want.varith_instrs) << what;
+  EXPECT_EQ(got.vmem_unit_instrs, want.vmem_unit_instrs) << what;
+  EXPECT_EQ(got.vmem_strided_instrs, want.vmem_strided_instrs) << what;
+  EXPECT_EQ(got.vmem_indexed_instrs, want.vmem_indexed_instrs) << what;
+  EXPECT_EQ(got.vctrl_instrs, want.vctrl_instrs) << what;
+  EXPECT_EQ(got.vl_sum, want.vl_sum) << what;
+  EXPECT_EQ(got.flops, want.flops) << what;
+  EXPECT_EQ(got.l1_accesses, want.l1_accesses) << what;
+  EXPECT_EQ(got.l1_misses, want.l1_misses) << what;
+  EXPECT_EQ(got.l2_misses, want.l2_misses) << what;
+  EXPECT_NEAR(got.scalar_cycles, want.scalar_cycles,
+              1e-9 * (1.0 + want.scalar_cycles))
+      << what;
+  EXPECT_NEAR(got.vector_cycles, want.vector_cycles,
+              1e-9 * (1.0 + want.vector_cycles))
+      << what;
+}
+
+TEST(TimeLoopConservation, StepCyclesSumToRunCycles) {
+  for (const miniapp::Scenario& s : small_scenarios()) {
+    const fem::Mesh mesh(s.mesh);
+    for (const auto& m : kMachines) {
+      miniapp::TimeLoopConfig cfg;
+      cfg.steps = 2;
+      cfg.vector_size = 32;
+      miniapp::TimeLoop loop(mesh, s, cfg);
+      sim::Vpu vpu(m);
+      const auto res = loop.run(vpu);
+      const std::string what = s.name + std::string(" on ") + m.name;
+      ASSERT_EQ(res.steps.size(), 2u) << what;
+      double sum = 0.0;
+      for (const miniapp::StepReport& st : res.steps) {
+        EXPECT_GT(st.cycles, 0.0) << what << " t=" << st.time;
+        sum += st.cycles;
+      }
+      EXPECT_NEAR(sum, res.cycles, 1e-9 * res.cycles) << what;
+      EXPECT_NEAR(res.cycles, res.total.total_cycles(), 1e-9 * res.cycles)
+          << what;
+    }
+  }
+}
+
+TEST(TimeLoopConservation, PhaseCountersSumToTotals) {
+  for (const miniapp::Scenario& s : small_scenarios()) {
+    const fem::Mesh mesh(s.mesh);
+    for (const auto& m : kMachines) {
+      miniapp::TimeLoopConfig cfg;
+      cfg.steps = 2;
+      cfg.vector_size = 32;
+      miniapp::TimeLoop loop(mesh, s, cfg);
+      sim::Vpu vpu(m);
+      const auto res = loop.run(vpu);
+      const std::string what = s.name + std::string(" on ") + m.name;
+      ASSERT_EQ(res.phase.size(),
+                static_cast<std::size_t>(miniapp::kNumInstrumentedPhases) + 1u)
+          << what;
+      sim::Counters sum;
+      for (const sim::Counters& c : res.phase) sum += c;
+      expect_counters_equal(sum, res.total, what);
+      // all work is attributed to an instrumented phase: host-side setup
+      // charges nothing, so phase 0 ("outside") stays empty
+      EXPECT_EQ(res.phase[0].total_instrs(), 0u) << what;
+      EXPECT_DOUBLE_EQ(res.phase[0].total_cycles(), 0.0) << what;
+    }
+  }
+}
+
+TEST(TimeLoopConservation, BothMomentumPathsConserve) {
+  // The blocked and the per-component phase-9 paths must both satisfy the
+  // conservation invariants (the blocked path reshuffles kernel order and
+  // masks columns — none of that may leak cycles across phase boundaries).
+  miniapp::Scenario s = miniapp::scenario_taylor_green();
+  s.mesh.nx = s.mesh.ny = s.mesh.nz = 3;
+  const fem::Mesh mesh(s.mesh);
+  for (const bool blocked : {true, false}) {
+    miniapp::TimeLoopConfig cfg;
+    cfg.steps = 2;
+    cfg.vector_size = 24;
+    cfg.blocked_momentum = blocked;
+    miniapp::TimeLoop loop(mesh, s, cfg);
+    sim::Vpu vpu(platforms::riscv_vec());
+    const auto res = loop.run(vpu);
+    const std::string what =
+        blocked ? "blocked momentum" : "per-component momentum";
+    sim::Counters sum;
+    for (const sim::Counters& c : res.phase) sum += c;
+    expect_counters_equal(sum, res.total, what);
+    double step_sum = 0.0;
+    for (const miniapp::StepReport& st : res.steps) step_sum += st.cycles;
+    EXPECT_NEAR(step_sum, res.cycles, 1e-9 * res.cycles) << what;
+  }
+}
+
+}  // namespace

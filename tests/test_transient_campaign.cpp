@@ -15,21 +15,12 @@
 #include "core/csv.h"
 #include "platforms/platforms.h"
 #include "sanitizer_support.h"
+#include "scenario_support.h"
 
 namespace {
 
 using namespace vecfd;
-
-/// Shrunken scenario meshes so the grid stays test-sized.
-std::vector<miniapp::Scenario> small_scenarios() {
-  auto scens = miniapp::all_scenarios();
-  for (auto& s : scens) {
-    s.mesh.nx = std::max(3, s.mesh.nx / 2);
-    s.mesh.ny = std::max(3, s.mesh.ny / 2);
-    s.mesh.nz = std::max(3, s.mesh.nz / 2);
-  }
-  return scens;
-}
+using testsupport::small_scenarios;
 
 const sim::MachineConfig kMachines[] = {
     platforms::riscv_vec(), platforms::riscv_vec_scalar(),
@@ -129,8 +120,11 @@ TEST(TransientCampaign, CsvSchemaDerivesFromInstrumentedPhaseCount) {
     return 1 + std::count(line.begin(), line.end(), ',');
   };
   EXPECT_EQ(count_cols(header), count_cols(row));
+  // 14 identity/metric columns (incl. effective_strip), the ph block, and
+  // the 4-column convergence digest
   EXPECT_EQ(count_cols(header),
-            13 + 3 * miniapp::kNumInstrumentedPhases + 4);
+            14 + 3 * miniapp::kNumInstrumentedPhases + 4);
+  EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
 }
 
 }  // namespace
