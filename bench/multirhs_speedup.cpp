@@ -23,49 +23,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bench_metrics.h"
 #include "miniapp/time_loop.h"
 
 namespace {
 
-struct PathStats {
-  double cycles = 0.0;
-  double avl = 0.0;
-  double ev = 0.0;
-  std::uint64_t unit = 0;
-  std::uint64_t indexed = 0;
-  int iterations = 0;
-};
-
-PathStats run_path(const vecfd::fem::Mesh& mesh,
-                   const vecfd::miniapp::Scenario& scen, int vs, int steps,
-                   bool blocked) {
+// One path = one measured transient run (bench_metrics.h); the spin-up
+// pass develops the flow so all kDim momentum columns have real work to
+// share slabs across — the regime a transient run lives in.
+vecfd::bench::SolveStats run_path(const vecfd::fem::Mesh& mesh,
+                                  const vecfd::miniapp::Scenario& scen,
+                                  int vs, int steps, bool blocked) {
   using namespace vecfd;
-  miniapp::TimeLoopConfig cfg;
-  cfg.steps = steps;
-  cfg.vector_size = vs;
-  cfg.blocked_momentum = blocked;
-  miniapp::TimeLoop loop(mesh, scen, cfg);
-  sim::Vpu vpu(platforms::riscv_vec());
-  // Spin-up pass: from the impulsive start the y/z momentum columns are
-  // trivially converged (nothing to share slabs across), which is not the
-  // regime a transient run lives in.  run() continues from the current
-  // fields and resets the machine, so the second call measures a developed
-  // flow with all kDim columns active.
-  (void)loop.run(vpu);
-  const auto res = loop.run(vpu);
-
-  PathStats st;
-  const auto& p9 = res.phase[miniapp::kSolvePhase];
-  st.cycles = p9.total_cycles();
-  const auto m = metrics::compute(p9, platforms::riscv_vec().vlmax);
-  st.avl = m.avl;
-  st.ev = m.ev;
-  st.unit = p9.vmem_unit_instrs;
-  st.indexed = p9.vmem_indexed_instrs;
-  for (const auto& step : res.steps) {
-    for (const auto& rep : step.momentum) st.iterations += rep.iterations;
-  }
-  return st;
+  return bench::run_transient_point(mesh, scen, platforms::riscv_vec(), vs,
+                                    steps, blocked,
+                                    solver::SpmvFormat::kEll,
+                                    /*rcm=*/false, /*spinup=*/true);
 }
 
 }  // namespace
@@ -91,26 +64,24 @@ int main() {
   double worst_redux = 1e30;
   double worst_avl_drift = 0.0;
   for (const int vs : bench::kVectorSizes) {
-    const PathStats pc = run_path(mesh, scen, vs, steps, /*blocked=*/false);
-    const PathStats blk = run_path(mesh, scen, vs, steps, /*blocked=*/true);
-    if (pc.iterations != blk.iterations || pc.indexed != blk.indexed) {
+    const bench::SolveStats pc =
+        run_path(mesh, scen, vs, steps, /*blocked=*/false);
+    const bench::SolveStats blk =
+        run_path(mesh, scen, vs, steps, /*blocked=*/true);
+    const bench::SlabComparison cmp = bench::compare_slab_traffic(pc, blk);
+    if (!cmp.valid) {
       std::cout << "MISMATCH at VS=" << vs
                 << ": paths diverged (iters " << pc.iterations << " vs "
                 << blk.iterations << ", gathers " << pc.indexed << " vs "
                 << blk.indexed << ") — slab accounting invalid\n";
       return 1;
     }
-    const double slab_pc = 2.0 * static_cast<double>(pc.indexed);
-    const double slab_blk =
-        slab_pc - static_cast<double>(pc.unit - blk.unit);
-    const double redux = slab_pc / slab_blk;
-    const double avl_drift = std::abs(blk.avl - pc.avl) / pc.avl;
-    worst_redux = std::min(worst_redux, redux);
-    worst_avl_drift = std::max(worst_avl_drift, avl_drift);
+    worst_redux = std::min(worst_redux, cmp.redux);
+    worst_avl_drift = std::max(worst_avl_drift, cmp.avl_drift);
     t.add_row({std::to_string(vs), std::to_string(pc.iterations),
-               core::fmt(slab_pc / pc.iterations, 0),
-               core::fmt(slab_blk / blk.iterations, 0),
-               core::fmt(redux, 2) + "x", core::fmt(pc.avl, 1),
+               core::fmt(cmp.slab_pc / pc.iterations, 0),
+               core::fmt(cmp.slab_blk / blk.iterations, 0),
+               core::fmt(cmp.redux, 2) + "x", core::fmt(pc.avl, 1),
                core::fmt(blk.avl, 1), core::fmt_pct(blk.ev),
                core::fmt(pc.cycles / blk.cycles, 2) + "x"});
   }

@@ -14,9 +14,16 @@ std::string to_string(FindingKind k) {
     case FindingKind::kFusedLoop:       return "fused-loop";
     case FindingKind::kOpaqueBound:     return "opaque-bound";
     case FindingKind::kCachePressure:   return "cache-pressure";
+    case FindingKind::kGatherBound:     return "gather-bound";
     case FindingKind::kHealthy:         return "healthy";
   }
   return "?";
+}
+
+solver::SpmvFormat recommend_format(const sim::MachineConfig& machine) {
+  if (!machine.vector_enabled) return solver::SpmvFormat::kCsrHost;
+  return machine.vlmax >= 64 ? solver::SpmvFormat::kSell
+                             : solver::SpmvFormat::kEll;
 }
 
 namespace {
@@ -87,6 +94,55 @@ std::vector<Finding> advise(const Measurement& m) {
           "innermost";
       findings.push_back(std::move(f));
       continue;
+    }
+
+    // Solve-phase gather quality: few reused lines per gathered lane (a
+    // scattered numbering) or a pad-heavy ELL mirror — the formats lever.
+    const sim::Counters& pc = m.phase[p];
+    if (mc.vector_enabled && p >= miniapp::kSolvePhase &&
+        pc.vmem_indexed_instrs > 0) {
+      const double lanes = static_cast<double>(pc.gather_lanes);
+      const double lines = static_cast<double>(pc.gather_lines_touched);
+      const double masked = static_cast<double>(pc.pad_lanes);
+      const double coal = static_cast<double>(pc.coalesced_lanes);
+      const double lanes_per_line = lines > 0.0 ? lanes / lines : 8.0;
+      const double pad_frac =
+          lanes + masked + coal > 0.0 ? masked / (lanes + masked + coal)
+                                      : 0.0;
+      if (lanes_per_line < 2.0 || pad_frac > 0.25) {
+        // Actionable advice only: a format switch when the run is not
+        // already on this machine's recommended storage, RCM renumbering
+        // (a transient-loop knob) when the lines themselves are scattered.
+        // Pad-heavy but already on the recommended format has no lever
+        // here — fall through to the cache-pressure check below.
+        const solver::SpmvFormat rec = recommend_format(mc);
+        std::string action;
+        if (m.app.solve_format != rec) {
+          action = "switch to this machine's recommended operator storage "
+                   "(--format " + std::string(to_string(rec)) + ")";
+          if (lanes_per_line < 2.0) {
+            action += " and renumber the unknowns (--rcm on a transient "
+                      "run) to band the x-gathers";
+          }
+        } else if (lanes_per_line < 2.0) {
+          action = "renumber the unknowns (--rcm on a transient run) to "
+                   "band the x-gathers";
+        }
+        if (!action.empty()) {
+          Finding f;
+          f.kind = FindingKind::kGatherBound;
+          f.phase = p;
+          f.severity = share * 0.75;
+          f.message =
+              "phase " + std::to_string(p) + " gathers average " +
+              std::to_string(lanes_per_line).substr(0, 4) +
+              " elements per touched cache line with " +
+              std::to_string(100.0 * pad_frac).substr(0, 4) +
+              "% pad lanes; " + action;
+          findings.push_back(std::move(f));
+          continue;
+        }
+      }
     }
 
     const double dcm_ki = metrics::l1_dcm_per_kilo_instr(m.phase[p]);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "solver/format.h"
 
 namespace vecfd::core {
 
@@ -24,6 +25,8 @@ enum class FindingKind {
   kFusedLoop,          ///< vectorizable work fused with non-vectorizable (VEC1)
   kOpaqueBound,        ///< loop bound not compile-time constant (VEC2 lesson)
   kCachePressure,      ///< high L1 DCM/ki on a memory-bound phase
+  kGatherBound,        ///< solve-phase gathers touch ~1 line/lane or drown
+                       ///< in pad lanes — the SELL/RCM lever (DESIGN.md §6)
   kHealthy,            ///< nothing actionable
 };
 
@@ -38,5 +41,14 @@ struct Finding {
 std::vector<Finding> advise(const Measurement& m);
 
 std::string to_string(FindingKind k);
+
+/// Per-platform sparse-format recommendation for the instrumented solves
+/// (the `--format auto` policy of vecfd-run; DESIGN.md §6): a scalar-only
+/// machine streams the host CSR (no vector mirror to win with); a
+/// long-vector machine (vlmax ≥ 64) wants SELL-C-σ, whose sliced pads and
+/// gather-coalescing pay exactly where gathers dominate; a short-SIMD
+/// machine keeps the padded ELL mirror — at vlmax ~8 the slice
+/// bookkeeping outweighs the pads it removes.
+solver::SpmvFormat recommend_format(const sim::MachineConfig& machine);
 
 }  // namespace vecfd::core

@@ -50,6 +50,8 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
   cfg.vector_size = point.vector_size;
   cfg.opt = point.opt;
   cfg.blocked_momentum = point.blocked_momentum;
+  cfg.format = point.format;
+  cfg.rcm_renumber = point.rcm_renumber;
 
   miniapp::TimeLoop loop(mesh(point.scenario), scen, cfg);
   sim::Vpu vpu(point.machine);

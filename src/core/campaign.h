@@ -33,6 +33,11 @@ struct CampaignPoint {
   /// Phase-9 path (see TimeLoopConfig::blocked_momentum): true = fused
   /// multi-RHS block solve, false = sequential per-component reference.
   bool blocked_momentum = true;
+  /// Operator storage format of the instrumented solves (csr-host / ell /
+  /// sell — see TimeLoopConfig::format and DESIGN.md §6).
+  solver::SpmvFormat format = solver::SpmvFormat::kEll;
+  /// RCM solve-space renumbering (see TimeLoopConfig::rcm_renumber).
+  bool rcm_renumber = false;
 };
 
 /// One executed campaign point: the full TimeLoopResult plus the §2.2

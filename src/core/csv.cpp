@@ -29,9 +29,9 @@ class ScopedPrecision {
 // are no longer mislabeled.  Both row writers derive it from that one
 // function.
 void write_csv_header(std::ostream& os) {
-  os << "machine,opt,scheme,vector_size,effective_strip,total_cycles,"
+  os << "machine,opt,scheme,format,vector_size,effective_strip,total_cycles,"
         "total_instrs,vector_instrs,mv,av,vcpi,avl,ev,flops,l1_misses,"
-        "l2_misses";
+        "l2_misses,gather_lines,coalesced_lanes,pad_lanes";
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
@@ -41,13 +41,15 @@ void write_csv_header(std::ostream& os) {
 void write_measurement_row(std::ostream& os, const Measurement& m) {
   const ScopedPrecision prec(os);
   os << m.machine.name << ',' << to_string(m.app.opt) << ','
-     << to_string(m.app.scheme) << ',' << m.app.vector_size << ','
+     << to_string(m.app.scheme) << ',' << to_string(m.app.solve_format)
+     << ',' << m.app.vector_size << ','
      << solver::solve_effective_strip(m.app.vector_size, m.machine) << ','
      << m.total_cycles << ',' << m.total.total_instrs() << ','
      << m.total.vector_instrs() << ',' << m.overall.mv << ',' << m.overall.av
      << ',' << m.overall.vcpi << ',' << m.overall.avl << ',' << m.overall.ev
      << ',' << m.total.flops << ',' << m.total.l1_misses << ','
-     << m.total.l2_misses;
+     << m.total.l2_misses << ',' << m.total.gather_lines_touched << ','
+     << m.total.coalesced_lanes << ',' << m.total.pad_lanes;
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ',' << m.phase_cycles(p) << ',' << m.phase_metrics[p].mv << ','
        << m.phase_metrics[p].avl;
@@ -61,8 +63,9 @@ void write_csv(std::ostream& os, std::span<const Measurement> ms) {
 }
 
 void write_campaign_csv_header(std::ostream& os) {
-  os << "scenario,machine,opt,vector_size,effective_strip,steps,"
-        "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev";
+  os << "scenario,machine,opt,format,rcm,vector_size,effective_strip,steps,"
+        "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev,"
+        "gather_lines,coalesced_lanes,pad_lanes";
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
@@ -72,12 +75,15 @@ void write_campaign_csv_header(std::ostream& os) {
 void write_campaign_row(std::ostream& os, const CampaignRun& r) {
   const ScopedPrecision prec(os);
   os << r.scenario << ',' << r.point.machine.name << ','
-     << to_string(r.point.opt) << ',' << r.point.vector_size << ','
+     << to_string(r.point.opt) << ',' << to_string(r.point.format) << ','
+     << (r.point.rcm_renumber ? 1 : 0) << ',' << r.point.vector_size << ','
      << solver::solve_effective_strip(r.point.vector_size, r.point.machine)
      << ',' << r.point.steps << ',' << r.total_cycles << ','
      << r.loop.total.total_instrs() << ',' << r.loop.total.vector_instrs()
      << ',' << r.overall.mv << ',' << r.overall.av << ',' << r.overall.vcpi
-     << ',' << r.overall.avl << ',' << r.overall.ev;
+     << ',' << r.overall.avl << ',' << r.overall.ev << ','
+     << r.loop.total.gather_lines_touched << ','
+     << r.loop.total.coalesced_lanes << ',' << r.loop.total.pad_lanes;
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     const auto& pm = r.phase_metrics[static_cast<std::size_t>(p)];
     os << ',' << r.phase_cycles(p) << ',' << pm.mv << ',' << pm.avl;

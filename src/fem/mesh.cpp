@@ -1,10 +1,63 @@
 #include "fem/mesh.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
 namespace vecfd::fem {
+
+std::vector<int> rcm_ordering(const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  // Deduplicated neighbour lists sorted by (degree, id) — the visit order
+  // Cuthill–McKee prescribes; sorting once per node keeps the BFS linear.
+  std::vector<std::vector<int>> nbr(static_cast<std::size_t>(n));
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    std::vector<int>& row = nbr[static_cast<std::size_t>(v)];
+    row.assign(adjacency[static_cast<std::size_t>(v)].begin(),
+               adjacency[static_cast<std::size_t>(v)].end());
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    row.erase(std::remove(row.begin(), row.end(), v), row.end());  // self
+    degree[static_cast<std::size_t>(v)] = static_cast<int>(row.size());
+  }
+  for (int v = 0; v < n; ++v) {
+    std::vector<int>& row = nbr[static_cast<std::size_t>(v)];
+    std::sort(row.begin(), row.end(), [&](int a, int b) {
+      const int da = degree[static_cast<std::size_t>(a)];
+      const int db = degree[static_cast<std::size_t>(b)];
+      return da != db ? da < db : a < b;
+    });
+  }
+
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  for (int seeded = 0; seeded < n;) {
+    // component seed: unvisited node of minimum degree, lowest id on ties
+    int seed = -1;
+    for (int v = 0; v < n; ++v) {
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      if (seed < 0 || degree[static_cast<std::size_t>(v)] <
+                          degree[static_cast<std::size_t>(seed)]) {
+        seed = v;
+      }
+    }
+    visited[static_cast<std::size_t>(seed)] = 1;
+    order.push_back(seed);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      for (int w : nbr[static_cast<std::size_t>(order[head])]) {
+        if (visited[static_cast<std::size_t>(w)]) continue;
+        visited[static_cast<std::size_t>(w)] = 1;
+        order.push_back(w);
+      }
+    }
+    seeded = static_cast<int>(order.size());
+  }
+  std::reverse(order.begin(), order.end());  // the "reverse" in RCM
+  return order;
+}
 
 Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   if (cfg.nx <= 0 || cfg.ny <= 0 || cfg.nz <= 0) {

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "fem/scheme.h"
+#include "solver/format.h"
 
 namespace vecfd::miniapp {
 
@@ -46,6 +47,10 @@ struct MiniAppConfig {
   bool run_solve = false;
   int solve_max_iterations = 500;
   double solve_rel_tolerance = 1e-10;
+  /// Operator storage format of the chained solve (and the transient
+  /// loop's solves; DESIGN.md §6).  Residual histories are bit-identical
+  /// across formats — this knob trades counters, not numerics.
+  solver::SpmvFormat solve_format = solver::SpmvFormat::kEll;
 };
 
 }  // namespace vecfd::miniapp

@@ -94,7 +94,8 @@ MiniAppResult MiniApp::run(sim::Vpu& vpu) const {
     solver::vpack_strided(vpu, res.rhs.data(), fem::kDim, rhs0,
                           cfg_.vector_size);
     res.solve = solver::vbicgstab(vpu, res.matrix, rhs0, res.solution, sopts,
-                                  cfg_.vector_size);
+                                  cfg_.vector_size, nullptr,
+                                  cfg_.solve_format);
     res.has_solve = true;
   }
 

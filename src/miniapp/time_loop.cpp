@@ -78,6 +78,29 @@ TimeLoop::TimeLoop(const fem::Mesh& mesh, const Scenario& scenario,
   dtmass_ = fem::assemble_dt_mass(*mesh_, state_.physics(), shape);
   lumped_inv_ = fem::assemble_lumped_mass(*mesh_, shape);
   for (double& m : lumped_inv_) m = 1.0 / m;
+
+  if (cfg_.rcm_renumber) {
+    // One RCM ordering serves both solves (momentum and pressure share the
+    // node-adjacency pattern).  The pinned Laplacian has constant values,
+    // so it is permuted once here; the momentum operator changes values
+    // every step, so only its PATTERN twin and the nnz map are built now
+    // and step code refreshes mom_perm_.vals() in place.
+    rcm_perm_ = fem::rcm_ordering(mesh_->node_adjacency());
+    poisson_ = solver::permute_symmetric(poisson_, rcm_perm_);
+    const solver::CsrMatrix pattern(mesh_->node_adjacency());
+    mom_perm_ = solver::permute_symmetric(pattern, rcm_perm_);
+    mom_value_map_.resize(pattern.nnz());
+    const auto rowptr = mom_perm_.rowptr();
+    for (int q = 0; q < nn; ++q) {
+      const auto cs = mom_perm_.row_cols(q);
+      const int old_row = rcm_perm_[static_cast<std::size_t>(q)];
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        mom_value_map_[static_cast<std::size_t>(rowptr[q]) + k] =
+            pattern.find(old_row,
+                         rcm_perm_[static_cast<std::size_t>(cs[k])]);
+      }
+    }
+  }
 }
 
 void TimeLoop::apply_velocity_bc(std::vector<double>& vel, double t) const {
@@ -109,7 +132,11 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
   const int vs = cfg_.vector_size;
   const double rho_dt = phys.density / phys.dt;
 
-  const solver::EllMatrix dtmass_ell(dtmass_);
+  // Operator mirrors in the configured storage format; SELL slices at the
+  // strip the solve kernels actually run (solver::solve_effective_strip).
+  const int slice_c = solver::solve_effective_strip(vs, vpu.config());
+  solver::OperatorMirror dtmass_op;
+  dtmass_op.assign(dtmass_, cfg_.format, slice_c);
 
   TimeLoopResult res;
   res.steps.reserve(static_cast<std::size_t>(cfg_.steps));
@@ -145,10 +172,45 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
   MiniAppResult ar;
   ElementChunk ch(cfg_.vector_size, /*with_matrix=*/true);
   solver::CsrMatrix k_bc;
-  solver::EllMatrix k_ell;
+  solver::OperatorMirror k_op;
   solver::KrylovWorkspace momentum_ws, pressure_ws;
   std::vector<char> fixed(un, 0);
   std::vector<std::array<double, fem::kDim>> bc(un);
+
+  // RCM solve-space marshalling (host-side, uncounted — the operator-setup
+  // policy of solver/vkernels.h): the solvers see permuted systems through
+  // these buffers, which are Vpu-touched inside the solves and therefore
+  // hoisted like every other measured buffer.
+  std::vector<double> bp_blk, xp_blk, bp_p, phi_p;
+  if (cfg_.rcm_renumber) {
+    bp_blk.assign(un * fem::kDim, 0.0);
+    xp_blk.assign(un * fem::kDim, 0.0);
+    bp_p.assign(un, 0.0);
+    phi_p.assign(un, 0.0);
+  }
+  const auto to_solve_order = [&](std::span<const double> src,
+                                  std::span<double> dst) {
+    for (int q = 0; q < nn; ++q) {
+      dst[static_cast<std::size_t>(q)] =
+          src[static_cast<std::size_t>(rcm_perm_[static_cast<std::size_t>(q)])];
+    }
+  };
+  const auto from_solve_order = [&](std::span<const double> src,
+                                    std::span<double> dst) {
+    for (int q = 0; q < nn; ++q) {
+      dst[static_cast<std::size_t>(rcm_perm_[static_cast<std::size_t>(q)])] =
+          src[static_cast<std::size_t>(q)];
+    }
+  };
+  // Refresh P·K·Pᵀ values in place from the freshly assembled (and
+  // Dirichlet-imposed) K — pattern and buffers stay fixed across steps.
+  const auto refresh_mom_perm = [&](const solver::CsrMatrix& src) {
+    const auto sv = src.vals();
+    const auto pv = mom_perm_.vals();
+    for (std::size_t i = 0; i < mom_value_map_.size(); ++i) {
+      pv[i] = sv[static_cast<std::size_t>(mom_value_map_[i])];
+    }
+  };
 
   for (int step = 0; step < cfg_.steps; ++step) {
     const double cycles0 = vpu.counters().total_cycles();
@@ -181,7 +243,7 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     }
     k_bc = ar.matrix;
     impose_dirichlet_rows(k_bc, fixed);
-    k_ell.assign(ar.matrix);
+    k_op.assign(ar.matrix, cfg_.format, slice_c);
 
     // ---- phase 9: blocked multi-RHS momentum BiCGStab ------------------
     // The kDim component systems share the operator K, so the RHS block is
@@ -198,9 +260,9 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
                               col(b_blk, d), vs);
       }
       if (cfg_.blocked_momentum) {
-        solver::vspmv_multi(vpu, k_ell, u_blk, tmp_blk, fem::kDim, vs);
+        k_op.apply_multi(vpu, u_blk, tmp_blk, fem::kDim, vs);
         solver::vaxpy_multi(vpu, ones, tmp_blk, b_blk, fem::kDim, vs);
-        solver::vspmv_multi(vpu, dtmass_ell, u_blk, tmp_blk, fem::kDim, vs);
+        dtmass_op.apply_multi(vpu, u_blk, tmp_blk, fem::kDim, vs);
         solver::vaxpy_multi(vpu, minus_ones, tmp_blk, b_blk, fem::kDim, vs);
         for (int n = 0; n < nn; ++n) {  // Dirichlet rows per component (host)
           if (!fixed[static_cast<std::size_t>(n)]) continue;
@@ -211,9 +273,24 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
           }
         }
         solver::vcopy_multi(vpu, u_blk, ustar_blk, fem::kDim, vs);
-        auto mreps =
-            solver::vbicgstab_multi(vpu, k_bc, b_blk, ustar_blk, fem::kDim,
-                                    cfg_.momentum, vs, &momentum_ws);
+        std::vector<solver::SolveReport> mreps;
+        if (cfg_.rcm_renumber) {
+          refresh_mom_perm(k_bc);
+          for (int d = 0; d < fem::kDim; ++d) {
+            to_solve_order(ccol(b_blk, d), col(bp_blk, d));
+            to_solve_order(ccol(ustar_blk, d), col(xp_blk, d));
+          }
+          mreps = solver::vbicgstab_multi(vpu, mom_perm_, bp_blk, xp_blk,
+                                          fem::kDim, cfg_.momentum, vs,
+                                          &momentum_ws, cfg_.format);
+          for (int d = 0; d < fem::kDim; ++d) {
+            from_solve_order(ccol(xp_blk, d), col(ustar_blk, d));
+          }
+        } else {
+          mreps = solver::vbicgstab_multi(vpu, k_bc, b_blk, ustar_blk,
+                                          fem::kDim, cfg_.momentum, vs,
+                                          &momentum_ws, cfg_.format);
+        }
         for (int d = 0; d < fem::kDim; ++d) {
           rep.momentum[static_cast<std::size_t>(d)] =
               std::move(mreps[static_cast<std::size_t>(d)]);
@@ -221,10 +298,11 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
               rep.momentum[static_cast<std::size_t>(d)].converged;
         }
       } else {
+        if (cfg_.rcm_renumber) refresh_mom_perm(k_bc);
         for (int d = 0; d < fem::kDim; ++d) {
-          solver::vspmv(vpu, k_ell, ccol(u_blk, d), col(tmp_blk, d), vs);
+          k_op.apply(vpu, ccol(u_blk, d), col(tmp_blk, d), vs);
           solver::vaxpy(vpu, 1.0, ccol(tmp_blk, d), col(b_blk, d), vs);
-          solver::vspmv(vpu, dtmass_ell, ccol(u_blk, d), col(tmp_blk, d), vs);
+          dtmass_op.apply(vpu, ccol(u_blk, d), col(tmp_blk, d), vs);
           solver::vaxpy(vpu, -1.0, ccol(tmp_blk, d), col(b_blk, d), vs);
           for (int n = 0; n < nn; ++n) {  // Dirichlet rows (host)
             if (fixed[static_cast<std::size_t>(n)]) {
@@ -235,9 +313,18 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
             }
           }
           solver::vcopy(vpu, ccol(u_blk, d), col(ustar_blk, d), vs);
-          rep.momentum[static_cast<std::size_t>(d)] = solver::vbicgstab(
-              vpu, k_bc, ccol(b_blk, d), col(ustar_blk, d), cfg_.momentum,
-              vs, &momentum_ws);
+          if (cfg_.rcm_renumber) {
+            to_solve_order(ccol(b_blk, d), col(bp_blk, d));
+            to_solve_order(ccol(ustar_blk, d), col(xp_blk, d));
+            rep.momentum[static_cast<std::size_t>(d)] = solver::vbicgstab(
+                vpu, mom_perm_, ccol(bp_blk, d), col(xp_blk, d),
+                cfg_.momentum, vs, &momentum_ws, cfg_.format);
+            from_solve_order(ccol(xp_blk, d), col(ustar_blk, d));
+          } else {
+            rep.momentum[static_cast<std::size_t>(d)] = solver::vbicgstab(
+                vpu, k_bc, ccol(b_blk, d), col(ustar_blk, d), cfg_.momentum,
+                vs, &momentum_ws, cfg_.format);
+          }
           res.all_converged &=
               rep.momentum[static_cast<std::size_t>(d)].converged;
         }
@@ -261,8 +348,17 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
       solver::vaxpy(vpu, -rho_dt, div, b_p, vs);  // b = −(ρ/Δt)·D u*
       for (int r : pressure_pins_) b_p[static_cast<std::size_t>(r)] = 0.0;
       std::fill(phi.begin(), phi.end(), 0.0);
-      rep.pressure = solver::vcg(vpu, poisson_, b_p, phi, cfg_.pressure, vs,
-                                 &pressure_ws);
+      if (cfg_.rcm_renumber) {
+        // poisson_ was permuted once at construction; marshal b/φ around it
+        to_solve_order(b_p, bp_p);
+        std::fill(phi_p.begin(), phi_p.end(), 0.0);
+        rep.pressure = solver::vcg(vpu, poisson_, bp_p, phi_p, cfg_.pressure,
+                                   vs, &pressure_ws, cfg_.format);
+        from_solve_order(phi_p, phi);
+      } else {
+        rep.pressure = solver::vcg(vpu, poisson_, b_p, phi, cfg_.pressure,
+                                   vs, &pressure_ws, cfg_.format);
+      }
       res.all_converged &= rep.pressure.converged;
     }
 

@@ -62,6 +62,21 @@ struct TimeLoopConfig {
   /// per-component reports — the flag exists for the co-design comparison
   /// (bench/multirhs_speedup) and equivalence tests.
   bool blocked_momentum = true;
+  /// Operator storage format of every instrumented SpMV (the phase-9 RHS
+  /// formation and the momentum/pressure Krylov solves; DESIGN.md §6).
+  /// Residual histories and fields are bit-identical across formats — the
+  /// knob trades gather/pad counters and cycles, not numerics.
+  solver::SpmvFormat format = solver::SpmvFormat::kEll;
+  /// Reverse-Cuthill–McKee renumbering of the SOLVE space: the momentum
+  /// and pressure operators are permuted to P·A·Pᵀ (fem::rcm_ordering)
+  /// and the RHS/unknown vectors are marshalled into solve order and back
+  /// around each Krylov solve (host-side, per the operator-setup policy of
+  /// solver/vkernels.h — the win is measured inside the solve's gathers).
+  /// The solved SYSTEM is identical; the permuted dot products reassociate,
+  /// so residual histories differ from the unpermuted run in the last ulps
+  /// while the returned fields agree to solver tolerance (the round-trip
+  /// test of test_format_equivalence).
+  bool rcm_renumber = false;
 };
 
 /// Per-step convergence and incompressibility diagnostics.
@@ -118,10 +133,20 @@ class TimeLoop {
   double time_ = 0.0;
 
   // constant host-side operators (see header comment)
-  solver::CsrMatrix poisson_;         ///< pinned SPD Laplacian (phase 10)
+  solver::CsrMatrix poisson_;         ///< pinned SPD Laplacian (phase 10);
+                                      ///< RCM-permuted when rcm_renumber
   solver::CsrMatrix dtmass_;          ///< dtfac-weighted consistent mass
   std::vector<double> lumped_inv_;    ///< 1 / M_L
   std::vector<int> pressure_pins_;
+
+  // RCM solve-space machinery (empty unless cfg.rcm_renumber).  The
+  // momentum PATTERN is constant across steps, so its permuted twin and
+  // the nnz value map are built once; per step only the values are
+  // refreshed in place (no allocation churn of Vpu-touched buffers — the
+  // determinism requirement of mem/memory_hierarchy.h).
+  std::vector<int> rcm_perm_;               ///< solve index → node
+  solver::CsrMatrix mom_perm_;              ///< P·K·Pᵀ pattern + values
+  std::vector<std::ptrdiff_t> mom_value_map_;  ///< permuted nnz → K nnz
 };
 
 }  // namespace vecfd::miniapp

@@ -37,6 +37,22 @@ struct Counters {
   std::uint64_t l1_misses = 0;
   std::uint64_t l2_misses = 0;
 
+  // ---- indexed-access quality (the sparse-format co-design counters) -----
+  /// Lanes actually gathered by vgather (masked pad lanes excluded).
+  std::uint64_t gather_lanes = 0;
+  /// Distinct cache lines touched by vgather, summed per instruction — the
+  /// locality metric the SELL/RCM co-design attacks: a banded operator
+  /// reuses lines across lanes, a scattered numbering touches one per lane.
+  std::uint64_t gather_lines_touched = 0;
+  /// vgather lanes masked off as storage-format padding: they read +0.0 and
+  /// generate NO cache traffic (the pad-hygiene contract of solver ELL/SELL
+  /// mirrors, asserted in test_sell_format).
+  std::uint64_t pad_lanes = 0;
+  /// Gather lanes served by the coalescing fast path instead (a contiguous
+  /// column run detected at assembly time, issued as a unit-stride vload —
+  /// see Vpu::note_coalesced_lanes).
+  std::uint64_t coalesced_lanes = 0;
+
   // ---- derived totals --------------------------------------------------
   std::uint64_t scalar_instrs() const {
     return scalar_alu_instrs + scalar_mem_instrs;
@@ -99,6 +115,10 @@ inline Counters& Counters::operator+=(const Counters& o) {
   l1_accesses += o.l1_accesses;
   l1_misses += o.l1_misses;
   l2_misses += o.l2_misses;
+  gather_lanes += o.gather_lanes;
+  gather_lines_touched += o.gather_lines_touched;
+  pad_lanes += o.pad_lanes;
+  coalesced_lanes += o.coalesced_lanes;
   return *this;
 }
 
@@ -118,6 +138,10 @@ inline Counters& Counters::operator-=(const Counters& o) {
   l1_accesses -= o.l1_accesses;
   l1_misses -= o.l1_misses;
   l2_misses -= o.l2_misses;
+  gather_lanes -= o.gather_lanes;
+  gather_lines_touched -= o.gather_lines_touched;
+  pad_lanes -= o.pad_lanes;
+  coalesced_lanes -= o.coalesced_lanes;
   return *this;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/vpu.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -139,11 +140,36 @@ Vec Vpu::vgather(const double* base, const Vec& idx) {
   const int n = idx.size();
   Vec r(n);
   double penalty = 0.0;
+  const std::size_t line = cfg_.memory.l1.line_bytes;
+  const std::uintptr_t mask = ~(static_cast<std::uintptr_t>(line) - 1);
+  gather_lines_scratch_.clear();
+  std::uint64_t pads = 0;
   for (int i = 0; i < n; ++i) {
-    const double* q = base + static_cast<std::ptrdiff_t>(idx[i]);
+    const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(idx[i]);
+    if (k < 0) {  // masked-off pad lane: +0.0, zero memory traffic
+      r[i] = 0.0;
+      ++pads;
+      continue;
+    }
+    const double* q = base + k;
     r[i] = *q;
     penalty += touch_elem(q);
+    gather_lines_scratch_.push_back(reinterpret_cast<std::uintptr_t>(q) &
+                                    mask);
   }
+  std::sort(gather_lines_scratch_.begin(), gather_lines_scratch_.end());
+  const std::uint64_t lines = static_cast<std::uint64_t>(
+      std::unique(gather_lines_scratch_.begin(), gather_lines_scratch_.end()) -
+      gather_lines_scratch_.begin());
+  const std::uint64_t lanes =
+      static_cast<std::uint64_t>(n) - pads;
+  Counters& ph = profiler_.phase(profiler_.current());
+  total_.gather_lanes += lanes;
+  ph.gather_lanes += lanes;
+  total_.gather_lines_touched += lines;
+  ph.gather_lines_touched += lines;
+  total_.pad_lanes += pads;
+  ph.pad_lanes += pads;
   double cycles = timing_.vmem_indexed_cycles(n);
   cycles += cfg_.miss_overlap_indexed * penalty;
   record(InstrKind::kVMemIndexed, cycles, n);
@@ -474,6 +500,16 @@ void Vpu::sstore_i32(std::int32_t* p, std::int32_t v) {
   *p = v;
   const double penalty = touch_range(p, 4);
   record(InstrKind::kScalarMem, timing_.scalar_mem_cycles() + penalty, 0);
+}
+
+void Vpu::note_coalesced_lanes(std::uint64_t n) {
+  total_.coalesced_lanes += n;
+  profiler_.phase(profiler_.current()).coalesced_lanes += n;
+}
+
+void Vpu::note_pad_lanes(std::uint64_t n) {
+  total_.pad_lanes += n;
+  profiler_.phase(profiler_.current()).pad_lanes += n;
 }
 
 void Vpu::sarith(std::uint64_t n) {

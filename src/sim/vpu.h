@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "mem/memory_hierarchy.h"
 #include "sim/counters.h"
@@ -69,6 +70,13 @@ class Vpu {
   Vec vload_strided(const double* p, std::ptrdiff_t stride_elems);
   /// Unit-stride load of 32-bit indices (values returned widened to double).
   Vec vload_i32(const std::int32_t* p);
+  /// Indexed load of base[idx[i]].  A NEGATIVE index is a masked-off lane
+  /// (the storage-format pad convention of solver ELL/SELL mirrors): the
+  /// lane reads +0.0 and generates no memory traffic, exactly like a
+  /// mask-disabled element of a real vluxei — it still occupies its issue
+  /// slot, so the instruction's cycle law is unchanged.  Real lanes are
+  /// accounted in `gather_lanes` and the distinct cache lines they touch in
+  /// `gather_lines_touched`; masked lanes count into `pad_lanes`.
   Vec vgather(const double* base, const Vec& idx);
   void vstore(double* p, const Vec& v);
   void vstore_strided(double* p, std::ptrdiff_t stride_elems, const Vec& v);
@@ -119,6 +127,16 @@ class Vpu {
   /// comparisons) without an associated data value.
   void sarith(std::uint64_t n = 1);
 
+  // ---- kernel annotations (no instruction issued) ----------------------
+  /// Lanes whose x-gather was served by the coalescing fast path: the SpMV
+  /// kernel detected a contiguous column run at assembly time and issued a
+  /// unit-stride vload (already counted as such) in place of the vgather.
+  /// Keeps the gathered/coalesced/pad lane taxonomy complete in the CSV.
+  void note_coalesced_lanes(std::uint64_t n);
+  /// Pad lanes skipped by a SCALAR SpMV fallback (vector pads are counted
+  /// inside vgather itself).
+  void note_pad_lanes(std::uint64_t n);
+
   // convenience scalar FP helpers: compute, count one instruction + FLOPs
   double sadd(double a, double b);
   double ssub(double a, double b);
@@ -153,6 +171,9 @@ class Vpu {
   Counters total_;
   InstrObserver* observer_ = nullptr;
   int vl_ = 0;
+  /// Scratch for the per-gather distinct-line count (host-side only; never
+  /// touched by the simulated memory hierarchy).
+  std::vector<std::uintptr_t> gather_lines_scratch_;
 };
 
 }  // namespace vecfd::sim

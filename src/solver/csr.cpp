@@ -84,4 +84,48 @@ void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   }
 }
 
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const int> perm) {
+  const int n = a.rows();
+  if (static_cast<int>(perm.size()) != n) {
+    throw std::invalid_argument("permute_symmetric: permutation size");
+  }
+  std::vector<int> inv(static_cast<std::size_t>(n), -1);
+  for (int q = 0; q < n; ++q) {
+    const int old = perm[static_cast<std::size_t>(q)];
+    if (old < 0 || old >= n || inv[static_cast<std::size_t>(old)] != -1) {
+      throw std::invalid_argument("permute_symmetric: not a permutation");
+    }
+    inv[static_cast<std::size_t>(old)] = q;
+  }
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    const auto cs = a.row_cols(perm[static_cast<std::size_t>(q)]);
+    adj[static_cast<std::size_t>(q)].reserve(cs.size());
+    for (int c : cs) {
+      adj[static_cast<std::size_t>(q)].push_back(
+          inv[static_cast<std::size_t>(c)]);
+    }
+  }
+  CsrMatrix b(adj);
+  for (int q = 0; q < n; ++q) {
+    const int old = perm[static_cast<std::size_t>(q)];
+    const auto cs = a.row_cols(old);
+    const auto vs = a.row_vals(old);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      b.add(q, inv[static_cast<std::size_t>(cs[k])], vs[k]);
+    }
+  }
+  return b;
+}
+
+int bandwidth(const CsrMatrix& a) {
+  int bw = 0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c : a.row_cols(r)) {
+      bw = std::max(bw, c > r ? c - r : r - c);
+    }
+  }
+  return bw;
+}
+
 }  // namespace vecfd::solver

@@ -54,4 +54,16 @@ class CsrMatrix {
   std::vector<double> vals_;
 };
 
+/// Symmetric permutation B = P·A·Pᵀ for perm[new] = old: row/column `new`
+/// of B carries row/column perm[new] of A, so solving B·(P x) = P b is the
+/// same linear system renumbered.  This is how a bandwidth-minimizing
+/// ordering (fem::rcm_ordering) is applied to an assembled operator without
+/// touching the assembly itself.  Columns are re-sorted by the CsrMatrix
+/// constructor; values follow their entries.
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const int> perm);
+
+/// Bandwidth max |r − c| over the pattern — the quantity RCM minimizes and
+/// the gather-locality proxy the mesh tests assert on.
+int bandwidth(const CsrMatrix& a);
+
 }  // namespace vecfd::solver

@@ -1,0 +1,50 @@
+// vecfd::solver — sparse operator storage formats (DESIGN.md §6).
+//
+// The instrumented solvers mirror the host CSR operator into the format the
+// target machine wants; which format that is became a first-class co-design
+// knob with this layer:
+//
+//   kCsrHost — no mirror: the host CSR arrays are streamed row by row on
+//              the scalar core (a long-vector machine cannot vectorize the
+//              ragged rows).  The baseline a format study compares against.
+//   kEll     — column-major padded ELL: every slab is walked at the strip
+//              length with unit-stride value/index loads + one x-gather.
+//              Rows pay the GLOBAL row-width maximum in pad lanes.
+//   kSell    — SELL-C-σ: rows sorted by length inside σ-sized windows
+//              (stable, so per-row accumulation order is preserved and
+//              results stay bit-identical), then packed into slices of C
+//              rows, each stored at its OWN width.  Pads shrink to the
+//              per-slice excess, and slabs whose column run is contiguous
+//              coalesce into unit-stride loads.
+//
+// The numerical contract: all three formats consume the same CSR row order
+// and mask (not compute) their pads, so every SpMV — and therefore every
+// SolveReport residual history — is bit-identical across formats.
+// core::recommend_format picks a default per machine.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace vecfd::solver {
+
+enum class SpmvFormat { kCsrHost, kEll, kSell };
+
+constexpr std::string_view to_string(SpmvFormat f) {
+  switch (f) {
+    case SpmvFormat::kCsrHost: return "csr-host";
+    case SpmvFormat::kEll:     return "ell";
+    case SpmvFormat::kSell:    return "sell";
+  }
+  return "?";
+}
+
+/// Accepts the CLI spellings: "csr" / "csr-host", "ell", "sell".
+constexpr std::optional<SpmvFormat> format_from_string(std::string_view s) {
+  if (s == "csr" || s == "csr-host") return SpmvFormat::kCsrHost;
+  if (s == "ell") return SpmvFormat::kEll;
+  if (s == "sell") return SpmvFormat::kSell;
+  return std::nullopt;
+}
+
+}  // namespace vecfd::solver

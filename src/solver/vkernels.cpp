@@ -27,7 +27,7 @@ void EllMatrix::assign(const CsrMatrix& a) {
         vals_[k] = vs[static_cast<std::size_t>(j)];
         cols_[k] = cs[static_cast<std::size_t>(j)];
       } else {
-        cols_[k] = r;  // padding: contributes exactly 0·x[r]
+        cols_[k] = -1;  // masked pad: +0.0 and zero cache traffic
       }
     }
   }
@@ -112,6 +112,14 @@ void bicgstab_p_update(sim::Vpu& vpu, std::span<const double> r, double beta,
   }
 }
 
+/// SELL slice height for a solver-built mirror: the effective strip, with
+/// a fixed fallback for the degenerate scalar-machine strip<=0 request
+/// (layout only — the scalar fallback walks lanes either way).
+int mirror_slice_height(int strip, const sim::MachineConfig& m) {
+  const int eff = solve_effective_strip(strip, m);
+  return eff > 0 ? eff : 64;
+}
+
 /// Breakdown exit mirroring krylov.cpp's contract (aborted iteration @p it
 /// counted, true residual appended — the history.size() == iterations + 1
 /// invariant), residual computed through the Vpu so the exit stays
@@ -150,8 +158,13 @@ void vspmv(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
     for (int r = 0; r < n; ++r) {
       double s = 0.0;
       for (int j = 0; j < a.width(); ++j) {
-        const double v = vpu.sload(a.vals(j) + r);
         const std::int32_t c = vpu.sload_i32(a.cols(j) + r);
+        vpu.sarith(1);  // pad-mask test
+        if (c < 0) {    // masked pad lane: skipped, zero data traffic
+          vpu.note_pad_lanes(1);
+          continue;
+        }
+        const double v = vpu.sload(a.vals(j) + r);
         const double xv = vpu.sload(x.data() + c);
         s = vpu.sfma(v, xv, s);
         vpu.sarith(1);
@@ -159,6 +172,128 @@ void vspmv(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
       vpu.sstore(y.data() + r, s);
       vpu.sarith(1);
     }
+  }
+}
+
+void vspmv(sim::Vpu& vpu, const SellMatrix& a, std::span<const double> x,
+           std::span<double> y, int strip) {
+  const int n = a.rows();
+  check_len(x.size(), static_cast<std::size_t>(n), "vspmv(sell)");
+  check_len(y.size(), static_cast<std::size_t>(n), "vspmv(sell)");
+  if (!vector_path(vpu)) {
+    // Scalar fallback walks lanes in slice order (the layout's memory
+    // order); per-row accumulation order is CSR order, values identical.
+    for (int s = 0; s < a.num_slices(); ++s) {
+      const int nr = a.slice_rows(s);
+      const std::int32_t* ids = a.row_ids(s);
+      for (int l = 0; l < nr; ++l) {
+        const std::int32_t rid = vpu.sload_i32(ids + l);
+        double acc = 0.0;
+        for (int j = 0; j < a.slice_width(s); ++j) {
+          const std::int32_t c = vpu.sload_i32(a.cols(s, j) + l);
+          vpu.sarith(1);  // pad-mask test
+          if (c < 0) {
+            vpu.note_pad_lanes(1);
+            continue;
+          }
+          const double v = vpu.sload(a.vals(s, j) + l);
+          const double xv = vpu.sload(x.data() + c);
+          acc = vpu.sfma(v, xv, acc);
+          vpu.sarith(1);
+        }
+        vpu.sstore(y.data() + rid, acc);
+        vpu.sarith(1);
+      }
+    }
+    return;
+  }
+  const int eff = effective_strip(vpu, strip);
+  for (int s = 0; s < a.num_slices(); ++s) {
+    const int nr = a.slice_rows(s);
+    const int base = a.slice_row_base(s);
+    for (int i = 0; i < nr;) {
+      const int vl = vpu.set_vl(std::min(eff, nr - i));
+      sim::Vec acc = vpu.vsplat(0.0);
+      for (int j = 0; j < a.slice_width(s); ++j) {
+        const sim::Vec vv = vpu.vload(a.vals(s, j) + i);
+        const int c0 = a.coalesced_col(s, j);
+        sim::Vec xs;
+        if (c0 >= 0) {
+          // coalescing fast path: the slab's columns are the unit run
+          // c0+i .. c0+i+vl−1, so the gather degenerates to a vload
+          xs = vpu.vload(x.data() + c0 + i);
+          vpu.note_coalesced_lanes(static_cast<std::uint64_t>(vl));
+        } else {
+          const sim::Vec idx = vpu.vload_i32(a.cols(s, j) + i);
+          xs = vpu.vgather(x.data(), idx);
+        }
+        acc = vpu.vfma(vv, xs, acc);
+        vpu.sarith(1);  // slab-loop control
+      }
+      if (base >= 0) {
+        vpu.vstore(y.data() + base + i, acc);
+      } else {
+        const sim::Vec ridx = vpu.vload_i32(a.row_ids(s) + i);
+        vpu.vscatter(y.data(), ridx, acc);
+      }
+      vpu.sarith(2);  // strip bump + loop bound check
+      i += vl;
+    }
+    vpu.sarith(1);  // slice-loop control
+  }
+}
+
+// CsrMatrix stores `int` indices; the Vpu's index loads take int32_t.  The
+// two are the same type on every supported ABI — assert it so a port to an
+// ILP64-style ABI fails loudly here instead of corrupting index loads.
+static_assert(sizeof(int) == sizeof(std::int32_t),
+              "csr-host SpMV assumes 32-bit int column indices");
+
+void vspmv(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> x,
+           std::span<double> y) {
+  const int n = a.rows();
+  check_len(x.size(), static_cast<std::size_t>(n), "vspmv(csr)");
+  check_len(y.size(), static_cast<std::size_t>(n), "vspmv(csr)");
+  for (int r = 0; r < n; ++r) {
+    const auto cs = a.row_cols(r);
+    const auto vs = a.row_vals(r);
+    double s = 0.0;
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const double v = vpu.sload(vs.data() + k);
+      const std::int32_t c = vpu.sload_i32(
+          reinterpret_cast<const std::int32_t*>(cs.data()) + k);
+      const double xv = vpu.sload(x.data() + c);
+      s = vpu.sfma(v, xv, s);
+      vpu.sarith(1);
+    }
+    vpu.sstore(y.data() + r, s);
+    vpu.sarith(1);
+  }
+}
+
+void OperatorMirror::assign(const CsrMatrix& a, SpmvFormat format,
+                            int slice_height) {
+  format_ = format;
+  rows_ = a.rows();
+  csr_ = &a;
+  switch (format_) {
+    case SpmvFormat::kCsrHost:
+      break;  // no mirror: apply() streams the host arrays
+    case SpmvFormat::kEll:
+      ell_.assign(a);
+      break;
+    case SpmvFormat::kSell:
+      sell_.assign(a, slice_height);
+      break;
+  }
+}
+
+void OperatorMirror::apply(sim::Vpu& vpu, std::span<const double> x,
+                           std::span<double> y, int strip) const {
+  switch (format_) {
+    case SpmvFormat::kCsrHost: vspmv(vpu, *csr_, x, y); return;
+    case SpmvFormat::kEll:     vspmv(vpu, ell_, x, y, strip); return;
+    case SpmvFormat::kSell:    vspmv(vpu, sell_, x, y, strip); return;
   }
 }
 
@@ -408,6 +543,100 @@ void vspmv_multi(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
   });
 }
 
+void vspmv_multi(sim::Vpu& vpu, const SellMatrix& a,
+                 std::span<const double> x, std::span<double> y, int k,
+                 int strip, std::span<const char> active) {
+  const std::size_t n = check_multi(y.size(), k, active, "vspmv_multi(sell)");
+  check_len(x.size(), y.size(), "vspmv_multi(sell)");
+  check_len(n, static_cast<std::size_t>(a.rows()), "vspmv_multi(sell)");
+  if (!any_active(active, k)) return;
+  if (!vector_path(vpu) || k == 1) {
+    for (int d = 0; d < k; ++d) {
+      if (!col_active(active, d)) continue;
+      const std::size_t off = static_cast<std::size_t>(d) * n;
+      vspmv(vpu, a, x.subspan(off, n), y.subspan(off, n), strip);
+    }
+    return;
+  }
+  const int eff = effective_strip(vpu, strip);
+  std::vector<sim::Vec> acc(static_cast<std::size_t>(k));
+  for (int s = 0; s < a.num_slices(); ++s) {
+    const int nr = a.slice_rows(s);
+    const int base = a.slice_row_base(s);
+    for (int i = 0; i < nr;) {
+      const int vl = vpu.set_vl(std::min(eff, nr - i));
+      for (int d = 0; d < k; ++d) {
+        if (col_active(active, d)) {
+          acc[static_cast<std::size_t>(d)] = vpu.vsplat(0.0);
+        }
+      }
+      for (int j = 0; j < a.slice_width(s); ++j) {
+        // ONE value (and, off the fast path, index) slab load feeds every
+        // active stream — the same sharing lever as the ELL overload.
+        const sim::Vec vv = vpu.vload(a.vals(s, j) + i);
+        const int c0 = a.coalesced_col(s, j);
+        sim::Vec idx;
+        if (c0 < 0) idx = vpu.vload_i32(a.cols(s, j) + i);
+        for (int d = 0; d < k; ++d) {
+          if (!col_active(active, d)) continue;
+          const double* xd = x.data() + static_cast<std::size_t>(d) * n;
+          sim::Vec xs;
+          if (c0 >= 0) {
+            xs = vpu.vload(xd + c0 + i);
+            vpu.note_coalesced_lanes(static_cast<std::uint64_t>(vl));
+          } else {
+            xs = vpu.vgather(xd, idx);
+          }
+          acc[static_cast<std::size_t>(d)] =
+              vpu.vfma(vv, xs, acc[static_cast<std::size_t>(d)]);
+          vpu.sarith(1);  // stream-loop control
+        }
+      }
+      if (base >= 0) {
+        for (int d = 0; d < k; ++d) {
+          if (!col_active(active, d)) continue;
+          vpu.vstore(y.data() + static_cast<std::size_t>(d) * n + base + i,
+                     acc[static_cast<std::size_t>(d)]);
+        }
+      } else {
+        const sim::Vec ridx = vpu.vload_i32(a.row_ids(s) + i);
+        for (int d = 0; d < k; ++d) {
+          if (!col_active(active, d)) continue;
+          vpu.vscatter(y.data() + static_cast<std::size_t>(d) * n, ridx,
+                       acc[static_cast<std::size_t>(d)]);
+        }
+      }
+      vpu.sarith(2);  // strip bump + loop bound check
+      i += vl;
+    }
+    vpu.sarith(1);  // slice-loop control
+  }
+}
+
+void OperatorMirror::apply_multi(sim::Vpu& vpu, std::span<const double> x,
+                                 std::span<double> y, int k, int strip,
+                                 std::span<const char> active) const {
+  switch (format_) {
+    case SpmvFormat::kCsrHost: {
+      const std::size_t n =
+          check_multi(y.size(), k, active, "apply_multi(csr)");
+      check_len(x.size(), y.size(), "apply_multi(csr)");
+      for (int d = 0; d < k; ++d) {
+        if (!col_active(active, d)) continue;
+        const std::size_t off = static_cast<std::size_t>(d) * n;
+        vspmv(vpu, *csr_, x.subspan(off, n), y.subspan(off, n));
+      }
+      return;
+    }
+    case SpmvFormat::kEll:
+      vspmv_multi(vpu, ell_, x, y, k, strip, active);
+      return;
+    case SpmvFormat::kSell:
+      vspmv_multi(vpu, sell_, x, y, k, strip, active);
+      return;
+  }
+}
+
 void vdot_multi(sim::Vpu& vpu, std::span<const double> a,
                 std::span<const double> b, int k, std::span<double> out,
                 int strip, std::span<const char> active) {
@@ -637,7 +866,7 @@ void bicgstab_p_update_multi(sim::Vpu& vpu, std::span<const double> r,
 
 SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
                 std::span<double> x, const SolveOptions& opts, int strip,
-                KrylovWorkspace* ws) {
+                KrylovWorkspace* ws, SpmvFormat format) {
   const std::size_t n = b.size();
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("vcg: dimension mismatch");
@@ -658,15 +887,15 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   } else {
     dinv.clear();
   }
-  ws->ell.assign(a);
-  const EllMatrix& ell = ws->ell;
+  ws->op.assign(a, format, mirror_slice_height(strip, vpu.config()));
+  const OperatorMirror& op = ws->op;
 
   std::vector<double>&r = ws->r, &z = ws->z, &p = ws->p, &ap = ws->q;
   r.assign(n, 0.0);
   z.assign(n, 0.0);
   p.assign(n, 0.0);
   ap.assign(n, 0.0);
-  vspmv(vpu, ell, x, r, strip);
+  op.apply(vpu, x, r, strip);
   vsub(vpu, b, r, r, strip);
   const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
   rep.residual = rel0;
@@ -680,7 +909,7 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   double rz = vdot(vpu, r, z, strip);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    vspmv(vpu, ell, p, ap, strip);
+    op.apply(vpu, p, ap, strip);
     const double pap = vdot(vpu, p, ap, strip);
     if (pap == 0.0) {
       return vbreakdown_exit(vpu, rep, it, r, bnorm, opts, strip);
@@ -708,7 +937,7 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
 SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
                       std::span<const double> b, std::span<double> x,
                       const SolveOptions& opts, int strip,
-                      KrylovWorkspace* ws) {
+                      KrylovWorkspace* ws, SpmvFormat format) {
   const std::size_t n = b.size();
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("vbicgstab: dimension mismatch");
@@ -729,8 +958,8 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   } else {
     dinv.clear();
   }
-  ws->ell.assign(a);
-  const EllMatrix& ell = ws->ell;
+  ws->op.assign(a, format, mirror_slice_height(strip, vpu.config()));
+  const OperatorMirror& op = ws->op;
 
   std::vector<double>&r = ws->r, &r0 = ws->z, &p = ws->p, &v = ws->q;
   std::vector<double>&s = ws->s, &t = ws->t, &phat = ws->u, &shat = ws->w;
@@ -742,7 +971,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   t.assign(n, 0.0);
   phat.assign(n, 0.0);
   shat.assign(n, 0.0);
-  vspmv(vpu, ell, x, r, strip);
+  op.apply(vpu, x, r, strip);
   vsub(vpu, b, r, r, strip);
   const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
   rep.residual = rel0;
@@ -777,7 +1006,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
     }
     rho = rho_new;
     vjacobi_apply(vpu, dinv, p, phat, strip);
-    vspmv(vpu, ell, phat, v, strip);
+    op.apply(vpu, phat, v, strip);
     const double r0v = vdot(vpu, r0, v, strip);
     if (r0v == 0.0) {
       return vbreakdown_exit(vpu, rep, it, r, bnorm, opts, strip);
@@ -794,7 +1023,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
       return rep;
     }
     vjacobi_apply(vpu, dinv, s, shat, strip);
-    vspmv(vpu, ell, shat, t, strip);
+    op.apply(vpu, shat, t, strip);
     const double tt = vdot(vpu, t, t, strip);
     if (tt == 0.0) {
       // apply the valid half-step so x matches the reported residual s
@@ -822,7 +1051,8 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
                                          std::span<const double> b,
                                          std::span<double> x, int k,
                                          const SolveOptions& opts, int strip,
-                                         KrylovWorkspace* ws) {
+                                         KrylovWorkspace* ws,
+                                         SpmvFormat format) {
   if (k <= 0) {
     throw std::invalid_argument("vbicgstab_multi: k must be positive");
   }
@@ -875,8 +1105,8 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
   } else {
     dinv.clear();
   }
-  ws->ell.assign(a);
-  const EllMatrix& ell = ws->ell;
+  ws->op.assign(a, format, mirror_slice_height(strip, vpu.config()));
+  const OperatorMirror& op = ws->op;
 
   std::vector<double>&R = ws->r, &R0 = ws->z, &P = ws->p, &V = ws->q;
   std::vector<double>&S = ws->s, &T = ws->t, &Phat = ws->u, &Shat = ws->w;
@@ -894,7 +1124,7 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
     --remaining;
   };
 
-  vspmv_multi(vpu, ell, x, R, k, strip, active);
+  op.apply_multi(vpu, x, R, k, strip, active);
   vsub_multi(vpu, b, R, R, k, strip, active);
   for (int d = 0; d < k; ++d) {
     const std::size_t ud = static_cast<std::size_t>(d);
@@ -941,7 +1171,7 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
     bicgstab_p_update_multi(vpu, R, beta, omega, V, P, k, restart, strip,
                             active);
     vjacobi_apply_multi(vpu, dinv, P, Phat, k, strip, active);
-    vspmv_multi(vpu, ell, Phat, V, k, strip, active);
+    op.apply_multi(vpu, Phat, V, k, strip, active);
     vdot_multi(vpu, R0, V, k, scal, strip, active);  // per-column r₀·v
     for (int d = 0; d < k; ++d) {
       const std::size_t ud = static_cast<std::size_t>(d);
@@ -971,7 +1201,7 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
     }
     if (remaining == 0) break;
     vjacobi_apply_multi(vpu, dinv, S, Shat, k, strip, active);
-    vspmv_multi(vpu, ell, Shat, T, k, strip, active);
+    op.apply_multi(vpu, Shat, T, k, strip, active);
     vdot_multi(vpu, T, T, k, scal, strip, active);  // per-column t·t
     for (int d = 0; d < k; ++d) {
       const std::size_t ud = static_cast<std::size_t>(d);

@@ -36,15 +36,19 @@
 
 #include "sim/vpu.h"
 #include "solver/csr.h"
+#include "solver/format.h"
 #include "solver/krylov.h"
+#include "solver/sell.h"
 
 namespace vecfd::solver {
 
 /// Column-major padded ELL mirror of a CsrMatrix.
 ///
-/// Rows shorter than `width` are padded with (own-row index, 0.0) entries:
-/// the gather stays in-bounds and the fma adds exactly 0·x[r], so vspmv
-/// reproduces CsrMatrix::spmv's per-row summation order and values.
+/// Rows shorter than `width` are padded with (column −1, 0.0) entries: the
+/// negative column is the Vpu's masked-lane convention (vgather reads +0.0
+/// and generates NO cache traffic — a pad must not fake locality on a real
+/// line), and the fma adds exactly +0.0, so vspmv reproduces
+/// CsrMatrix::spmv's per-row summation order and values bit for bit.
 class EllMatrix {
  public:
   EllMatrix() = default;
@@ -89,6 +93,58 @@ int solve_effective_strip(int requested, const sim::MachineConfig& machine);
 /// y = A·x through the Vpu (unit-stride slab loads + vgather + vfma).
 void vspmv(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
            std::span<double> y, int strip = 0);
+
+/// y = A·x on the SELL-C-σ mirror: per slice, slabs stream at the slice's
+/// OWN width (pads shrink to the per-slice excess) and slabs whose column
+/// run coalesces issue a unit-stride vload of x instead of the vgather
+/// (counted in coalesced_lanes); results are scattered back to original
+/// row order — or unit-stride-stored when the slice kept its rows
+/// contiguous — so y is bit-identical to the ELL/CSR product.  The strip
+/// is clamped to the slice height (one slice = one set_vl strip when the
+/// matrix was built with C = solve_effective_strip).
+void vspmv(sim::Vpu& vpu, const SellMatrix& a, std::span<const double> x,
+           std::span<double> y, int strip = 0);
+
+/// y = A·x streaming the HOST CSR arrays on the scalar core — the
+/// csr-host format: ragged rows defeat vectorization, so this is the
+/// instrumented scalar baseline every mirror format is compared against
+/// (identical values: same per-row accumulation order, no pads).
+void vspmv(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> x,
+           std::span<double> y);
+
+/// Operator mirror in a selected storage format: one assign/apply surface
+/// over csr-host / ELL / SELL so solvers and the TimeLoop switch format
+/// with a single knob (DESIGN.md §6).  For kCsrHost no mirror is built —
+/// the CSR matrix is captured by reference and must outlive apply() calls;
+/// for kSell @p slice_height is the slice height C (pass the effective
+/// solve strip).  Reassigning reuses slab storage in place (the
+/// determinism requirement of mem/memory_hierarchy.h).
+class OperatorMirror {
+ public:
+  void assign(const CsrMatrix& a, SpmvFormat format, int slice_height);
+
+  SpmvFormat format() const { return format_; }
+  int rows() const { return rows_; }
+  const EllMatrix& ell() const { return ell_; }
+  const SellMatrix& sell() const { return sell_; }
+
+  /// y = A·x in the mirrored format (dispatches to the vspmv overloads).
+  void apply(sim::Vpu& vpu, std::span<const double> x, std::span<double> y,
+             int strip = 0) const;
+
+  /// Blocked Y_d = A·X_d for k node-major columns (see vspmv_multi); the
+  /// csr-host format degrades to one scalar pass per active column.
+  void apply_multi(sim::Vpu& vpu, std::span<const double> x,
+                   std::span<double> y, int k, int strip = 0,
+                   std::span<const char> active = {}) const;
+
+ private:
+  SpmvFormat format_ = SpmvFormat::kEll;
+  int rows_ = 0;
+  const CsrMatrix* csr_ = nullptr;
+  EllMatrix ell_;
+  SellMatrix sell_;
+};
 
 double vdot(sim::Vpu& vpu, std::span<const double> a,
             std::span<const double> b, int strip = 0);
@@ -154,6 +210,13 @@ void vspmv_multi(sim::Vpu& vpu, const EllMatrix& a, std::span<const double> x,
                  std::span<double> y, int k, int strip = 0,
                  std::span<const char> active = {});
 
+/// SELL-C-σ blocked SpMV: each slice's value/index (and scatter-id) slabs
+/// are loaded ONCE per strip and feed all k active gather/fma streams —
+/// the same sharing lever as the ELL overload, on the leaner slab set.
+void vspmv_multi(sim::Vpu& vpu, const SellMatrix& a,
+                 std::span<const double> x, std::span<double> y, int k,
+                 int strip = 0, std::span<const char> active = {});
+
 /// out[d] = A_d · B_d (single fused pass; inactive columns keep out[d]).
 void vdot_multi(sim::Vpu& vpu, std::span<const double> a,
                 std::span<const double> b, int k, std::span<double> out,
@@ -184,7 +247,11 @@ void vjacobi_apply_multi(sim::Vpu& vpu, std::span<const double> dinv,
 // ---- instrumented Krylov solvers --------------------------------------
 // Step-for-step mirrors of krylov.h's cg / bicgstab, including the Jacobi
 // preconditioner and the breakdown-reporting contract.  The CSR operator is
-// mirrored into an EllMatrix internally.
+// mirrored into the requested SpmvFormat internally (SELL slices at the
+// effective strip); because every format masks its pads and preserves the
+// per-row accumulation order, the residual HISTORY of a solve is
+// bit-identical across formats on every exit path (test_format_equivalence
+// asserts this per platform × scenario) — only the counters change.
 
 /// Reusable scratch for the instrumented solvers.  One solve = one ELL
 /// mirror + a handful of work vectors; callers running MANY solves in one
@@ -200,19 +267,21 @@ void vjacobi_apply_multi(sim::Vpu& vpu, std::span<const double> dinv,
 /// measurement (the resize would be exactly the mid-measurement
 /// realloc churn the workspace exists to prevent).
 struct KrylovWorkspace {
-  EllMatrix ell;
+  OperatorMirror op;
   std::vector<double> dinv;
   std::vector<double> r, z, p, q, s, t, u, w;
 };
 
 SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
                 std::span<double> x, const SolveOptions& opts = {},
-                int strip = 0, KrylovWorkspace* ws = nullptr);
+                int strip = 0, KrylovWorkspace* ws = nullptr,
+                SpmvFormat format = SpmvFormat::kEll);
 
 SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
                       std::span<const double> b, std::span<double> x,
                       const SolveOptions& opts = {}, int strip = 0,
-                      KrylovWorkspace* ws = nullptr);
+                      KrylovWorkspace* ws = nullptr,
+                      SpmvFormat format = SpmvFormat::kEll);
 
 /// Multi-RHS mirror of the host bicgstab_multi (krylov.h), built on the
 /// blocked kernels above: k node-major columns advance in lockstep, the
@@ -230,6 +299,8 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
                                          std::span<double> x, int k,
                                          const SolveOptions& opts = {},
                                          int strip = 0,
-                                         KrylovWorkspace* ws = nullptr);
+                                         KrylovWorkspace* ws = nullptr,
+                                         SpmvFormat format =
+                                             SpmvFormat::kEll);
 
 }  // namespace vecfd::solver

@@ -59,6 +59,35 @@ TEST(CliContract, SolveRunExitsZeroAndImpliesSemiScheme) {
   EXPECT_EQ(exit_code("--solve --scheme semi --mesh 4,4,2 --vs 16"), 0);
 }
 
+TEST(CliContract, FormatFlagAcceptsEveryFormatAndAuto) {
+  // the sparse-format knob applies to the chained solve and the transient
+  // loop alike; auto resolves through the Advisor per machine
+  EXPECT_EQ(exit_code("--solve --mesh 4,4,2 --vs 16 --format csr"), 0);
+  EXPECT_EQ(exit_code("--solve --mesh 4,4,2 --vs 16 --format sell"), 0);
+  EXPECT_EQ(exit_code("--steps 1 --mesh 3,3,3 --vs 16 --format ell"), 0);
+  EXPECT_EQ(exit_code("--steps 1 --mesh 3,3,3 --vs 16 --format auto"), 0);
+  EXPECT_EQ(
+      exit_code("--steps 1 --mesh 3,3,3 --vs 16 --format sell --rcm"), 0);
+}
+
+TEST(CliContract, FormatAndRcmInvalidUsesNameTheFlag) {
+  const struct {
+    const char* args;
+    const char* flag;
+  } cases[] = {
+      {"--format bogus", "--format"},
+      {"--format", "--format"},  // missing value
+      {"--steps 1 --format coo", "--format"},
+      {"--rcm", "--rcm"},               // needs a transient run
+      {"--solve --rcm", "--rcm"},       // the assembly-chained solve too
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(exit_code(c.args), 2) << c.args;
+    EXPECT_NE(stderr_of(c.args).find(c.flag), std::string::npos)
+        << c.args << " should name " << c.flag << " on stderr";
+  }
+}
+
 TEST(CliContract, TransientRunExitsZeroAndImpliesSemiScheme) {
   // --steps runs the time loop on the default cavity scenario; --scenario
   // alone implies a short loop; both imply --scheme semi

@@ -124,7 +124,54 @@ TEST(Advisor, KindNamesAreStable) {
             "opaque-bound");
   EXPECT_EQ(vecfd::core::to_string(FindingKind::kFsmUnfriendlyVl),
             "fsm-unfriendly-vl");
+  EXPECT_EQ(vecfd::core::to_string(FindingKind::kGatherBound),
+            "gather-bound");
   EXPECT_EQ(vecfd::core::to_string(FindingKind::kHealthy), "healthy");
+}
+
+TEST(Advisor, RecommendFormatFollowsTheMachineClass) {
+  using vecfd::core::recommend_format;
+  using vecfd::solver::SpmvFormat;
+  // scalar machine: nothing to mirror; long vectors: SELL; short SIMD: ELL
+  EXPECT_EQ(recommend_format(vecfd::platforms::riscv_vec_scalar()),
+            SpmvFormat::kCsrHost);
+  EXPECT_EQ(recommend_format(riscv_vec()), SpmvFormat::kSell);
+  EXPECT_EQ(recommend_format(vecfd::platforms::sx_aurora()),
+            SpmvFormat::kSell);
+  EXPECT_EQ(recommend_format(vecfd::platforms::mn4_avx512()),
+            SpmvFormat::kEll);
+}
+
+TEST(Advisor, GatherBoundFlagsPadHeavyEllSolveAndNamesTheFormat) {
+  // A full-strip ELL solve on the small FEM operator: interior rows of
+  // width 27 force ~40% pad lanes in the boundary-heavy mirror, which is
+  // exactly the pad-hygiene symptom the finding exists for.  The advice
+  // must name the machine's recommended format, not hard-code one.
+  Fixture& fx = fixture();
+  const Experiment ex(fx.mesh, fx.state);
+  MiniAppConfig cfg;
+  cfg.vector_size = 240;  // healthy AVL so short-vectors does not mask it
+  cfg.opt = OptLevel::kVec1;
+  cfg.scheme = vecfd::fem::Scheme::kSemiImplicit;
+  cfg.run_solve = true;
+  cfg.solve_format = vecfd::solver::SpmvFormat::kEll;
+  const auto m = ex.run(riscv_vec(), cfg);
+  const auto fs = advise(m);
+  const Finding* f = find_kind(fs, FindingKind::kGatherBound, 9);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("pad lanes"), std::string::npos);
+  EXPECT_NE(f->message.find("--format sell"), std::string::npos);
+  EXPECT_GT(f->severity, 0.0);
+
+  // on the recommended format the finding must not re-suggest a switch —
+  // it either goes quiet or (scattered lines) suggests RCM renumbering
+  cfg.solve_format = vecfd::solver::SpmvFormat::kSell;
+  const auto fs_sell = advise(ex.run(riscv_vec(), cfg));
+  const Finding* f2 = find_kind(fs_sell, FindingKind::kGatherBound, 9);
+  if (f2 != nullptr) {
+    EXPECT_EQ(f2->message.find("--format"), std::string::npos);
+    EXPECT_NE(f2->message.find("--rcm"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -42,11 +42,15 @@ TEST(Csv, HeaderAndRowHaveSameArity) {
   const auto h = split(header);
   const auto r = split(row);
   EXPECT_EQ(h.size(), r.size());
-  // 16 scalar columns (incl. effective_strip) + 11 phases x 3 (8 assembly
-  // + momentum solve + pressure solve + correction), both derived from
+  // 20 scalar columns (incl. effective_strip, the solve format and the
+  // gather-quality counters) + 11 phases x 3 (8 assembly + momentum solve
+  // + pressure solve + correction), both derived from
   // miniapp::kNumInstrumentedPhases
-  EXPECT_EQ(h.size(), 16u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  EXPECT_EQ(h.size(), 20u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
   EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
+  EXPECT_NE(header.find("scheme,format"), std::string::npos);
+  EXPECT_NE(header.find("gather_lines,coalesced_lanes,pad_lanes"),
+            std::string::npos);
   EXPECT_NE(header.find("ph9_cycles"), std::string::npos);
   EXPECT_NE(header.find("ph11_avl"), std::string::npos);
 }
@@ -66,21 +70,21 @@ TEST(Csv, EffectiveStripRecordsTheClampedStrip) {
   std::ostringstream os;
   vecfd::core::write_measurement_row(os, ex.run(vec, cfg));
   auto r = split(os.str());
-  EXPECT_EQ(r[3], "512");                             // requested
-  EXPECT_EQ(r[4], std::to_string(vec.vlmax));         // actually ran
+  EXPECT_EQ(r[4], "512");                             // requested
+  EXPECT_EQ(r[5], std::to_string(vec.vlmax));         // actually ran
 
   // at or below vlmax the strip passes through...
   cfg.vector_size = 64;
   std::ostringstream os2;
   vecfd::core::write_measurement_row(os2, ex.run(vec, cfg));
-  EXPECT_EQ(split(os2.str())[4], "64");
+  EXPECT_EQ(split(os2.str())[5], "64");
 
   // ...and a scalar-only machine runs scalar loops honouring the request
   cfg.vector_size = 512;
   std::ostringstream os3;
   vecfd::core::write_measurement_row(
       os3, ex.run(vecfd::platforms::riscv_vec_scalar(), cfg));
-  EXPECT_EQ(split(os3.str())[4], "512");
+  EXPECT_EQ(split(os3.str())[5], "512");
 }
 
 TEST(Csv, SolveRunPopulatesPhase9Columns) {
@@ -95,8 +99,8 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   std::ostringstream os_off;
   vecfd::core::write_measurement_row(os_off, off);
   const auto r_off = split(os_off.str());
-  ASSERT_EQ(r_off.size(), 16u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
-  EXPECT_DOUBLE_EQ(std::stod(r_off[16 + 24]), 0.0);  // ph9_cycles
+  ASSERT_EQ(r_off.size(), 20u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  EXPECT_DOUBLE_EQ(std::stod(r_off[20 + 24]), 0.0);  // ph9_cycles
 
   // ...and a --solve run fills them, same arity as the header
   cfg.run_solve = true;
@@ -112,8 +116,8 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   const auto h = split(header);
   const auto r_on = split(row);
   EXPECT_EQ(h.size(), r_on.size());
-  EXPECT_GT(std::stod(r_on[16 + 24]), 0.0);                    // ph9_cycles
-  EXPECT_NEAR(std::stod(r_on[16 + 26]), on.phase_metrics[9].avl, 1e-9);
+  EXPECT_GT(std::stod(r_on[20 + 24]), 0.0);                    // ph9_cycles
+  EXPECT_NEAR(std::stod(r_on[20 + 26]), on.phase_metrics[9].avl, 1e-9);
 }
 
 TEST(Csv, RowCarriesIdentityAndMetrics) {
@@ -130,11 +134,12 @@ TEST(Csv, RowCarriesIdentityAndMetrics) {
   EXPECT_EQ(r[0], "sx-aurora");
   EXPECT_EQ(r[1], "IVEC2");
   EXPECT_EQ(r[2], "explicit");
-  EXPECT_EQ(r[3], "16");
-  EXPECT_EQ(r[4], "16");                                // effective strip
-  EXPECT_GT(std::stod(r[5]), 0.0);                      // cycles
-  EXPECT_NEAR(std::stod(r[8]), m.overall.mv, 1e-9);     // mv
-  EXPECT_NEAR(std::stod(r[11]), m.overall.avl, 1e-9);   // avl
+  EXPECT_EQ(r[3], "ell");                               // solve format
+  EXPECT_EQ(r[4], "16");
+  EXPECT_EQ(r[5], "16");                                // effective strip
+  EXPECT_GT(std::stod(r[6]), 0.0);                      // cycles
+  EXPECT_NEAR(std::stod(r[9]), m.overall.mv, 1e-9);     // mv
+  EXPECT_NEAR(std::stod(r[12]), m.overall.avl, 1e-9);   // avl
 }
 
 TEST(Csv, WriteCsvEmitsAllRows) {

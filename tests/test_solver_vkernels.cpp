@@ -74,13 +74,14 @@ struct FemSystem {
   fem::GlobalSystem sys;
 };
 
-TEST(EllMatrix, MirrorsCsrWithSelfPadding) {
+TEST(EllMatrix, MirrorsCsrWithMaskedPadding) {
   const CsrMatrix a = poisson1d(5);
   const EllMatrix e(a);
   EXPECT_EQ(e.rows(), 5);
   EXPECT_EQ(e.width(), 3);  // interior rows hold {-1, 2, -1}
-  // row 0 has only 2 nonzeros: slab 2 must pad with (own row, 0.0)
-  EXPECT_EQ(e.cols(2)[0], 0);
+  // row 0 has only 2 nonzeros: slab 2 must pad with the masked-lane
+  // sentinel (column −1, 0.0) so the pad gathers nothing
+  EXPECT_EQ(e.cols(2)[0], -1);
   EXPECT_DOUBLE_EQ(e.vals(2)[0], 0.0);
   // interior row 2, slab order follows the sorted CSR columns {1, 2, 3}
   EXPECT_EQ(e.cols(0)[2], 1);

@@ -42,6 +42,10 @@ void expect_counters_equal(const sim::Counters& got, const sim::Counters& want,
   EXPECT_EQ(got.l1_accesses, want.l1_accesses) << what;
   EXPECT_EQ(got.l1_misses, want.l1_misses) << what;
   EXPECT_EQ(got.l2_misses, want.l2_misses) << what;
+  EXPECT_EQ(got.gather_lanes, want.gather_lanes) << what;
+  EXPECT_EQ(got.gather_lines_touched, want.gather_lines_touched) << what;
+  EXPECT_EQ(got.pad_lanes, want.pad_lanes) << what;
+  EXPECT_EQ(got.coalesced_lanes, want.coalesced_lanes) << what;
   EXPECT_NEAR(got.scalar_cycles, want.scalar_cycles,
               1e-9 * (1.0 + want.scalar_cycles))
       << what;

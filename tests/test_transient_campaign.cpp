@@ -120,10 +120,10 @@ TEST(TransientCampaign, CsvSchemaDerivesFromInstrumentedPhaseCount) {
     return 1 + std::count(line.begin(), line.end(), ',');
   };
   EXPECT_EQ(count_cols(header), count_cols(row));
-  // 14 identity/metric columns (incl. effective_strip), the ph block, and
-  // the 4-column convergence digest
+  // 19 identity/metric columns (incl. format/rcm and the gather-quality
+  // counters), the ph block, and the 4-column convergence digest
   EXPECT_EQ(count_cols(header),
-            14 + 3 * miniapp::kNumInstrumentedPhases + 4);
+            19 + 3 * miniapp::kNumInstrumentedPhases + 4);
   EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
 }
 

@@ -1,0 +1,269 @@
+// bench_to_json — perf-trajectory baseline emitter.
+//
+// Runs the measurement cores of bench/multirhs_speedup and
+// bench/spmv_format_sweep (shared in bench/bench_metrics.h) on a FIXED
+// workload — independent of VECFD_BENCH_SMALL, so the checked-in baseline
+// and any CI run measure the same thing — and serializes the scalar
+// metrics as JSON:
+//
+//   { "schema": "vecfd-bench-v1",
+//     "benches": { "<bench>": { "<metric>": <number>, ... }, ... } }
+//
+// Modes:
+//   bench_to_json --out FILE     write the baseline (the PR workflow:
+//                                regenerate, review the diff, commit)
+//   bench_to_json --check FILE   re-measure and compare against FILE
+//                                within --tolerance (default 1e-6
+//                                relative); exit 1 on drift or missing
+//                                metrics — the CI guard that keeps
+//                                BENCH_PR5.json honest
+//
+// The simulation is deterministic, so drift beyond last-ulp accumulation
+// differences between compilers means a real perf change: regenerate the
+// baseline in the same PR and let the reviewer see the trajectory.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_metrics.h"
+#include "fem/mesh.h"
+#include "miniapp/scenarios.h"
+#include "platforms/platforms.h"
+
+namespace {
+
+using namespace vecfd;
+using Metrics = std::map<std::string, double>;
+using Report = std::map<std::string, Metrics>;
+
+/// multirhs_speedup core: blocked vs per-component momentum solve on the
+/// cavity flow, worst slab reduction / AVL drift over the studied sizes.
+Metrics measure_multirhs() {
+  miniapp::Scenario scen = miniapp::scenario_cavity();
+  scen.mesh = {.nx = 6, .ny = 6, .nz = 6};
+  const fem::Mesh mesh(scen.mesh);
+  const int steps = 2;
+  Metrics m;
+  double worst_redux = 1e30;
+  double worst_avl_drift = 0.0;
+  for (const int vs : {64, 256}) {
+    const auto pc = bench::run_transient_point(
+        mesh, scen, platforms::riscv_vec(), vs, steps, /*blocked=*/false,
+        solver::SpmvFormat::kEll, /*rcm=*/false, /*spinup=*/true);
+    const auto blk = bench::run_transient_point(
+        mesh, scen, platforms::riscv_vec(), vs, steps, /*blocked=*/true,
+        solver::SpmvFormat::kEll, /*rcm=*/false, /*spinup=*/true);
+    // the same slab-accounting identity bench/multirhs_speedup prints
+    const bench::SlabComparison cmp = bench::compare_slab_traffic(pc, blk);
+    if (!cmp.valid) {
+      std::cerr << "multirhs paths diverged at VS=" << vs
+                << " — slab accounting invalid\n";
+      std::exit(1);
+    }
+    worst_redux = std::min(worst_redux, cmp.redux);
+    worst_avl_drift = std::max(worst_avl_drift, cmp.avl_drift);
+    const std::string tag = "vs" + std::to_string(vs);
+    m["slab_redux_" + tag] = cmp.redux;
+    m["ph9_speedup_" + tag] =
+        blk.cycles > 0.0 ? pc.cycles / blk.cycles : 0.0;
+  }
+  m["worst_slab_redux"] = worst_redux;
+  m["worst_avl_drift"] = worst_avl_drift;
+  return m;
+}
+
+/// spmv_format_sweep core: ell vs sell(+rcm) on a shuffled-numbering
+/// cavity at VS 256 on the two long-vector platforms.
+Metrics measure_format_sweep() {
+  miniapp::Scenario scen = miniapp::scenario_cavity();
+  scen.mesh = {.nx = 10, .ny = 10, .nz = 10, .shuffle_nodes = true};
+  const fem::Mesh mesh(scen.mesh);
+  const int steps = 2;
+  const int vs = 256;
+  Metrics m;
+  for (const auto& machine :
+       {platforms::riscv_vec(), platforms::sx_aurora()}) {
+    const auto ell = bench::run_transient_point(
+        mesh, scen, machine, vs, steps, /*blocked=*/true,
+        solver::SpmvFormat::kEll, /*rcm=*/false, /*spinup=*/false);
+    const auto sell_rcm = bench::run_transient_point(
+        mesh, scen, machine, vs, steps, /*blocked=*/true,
+        solver::SpmvFormat::kSell, /*rcm=*/true, /*spinup=*/false);
+    const std::string tag = machine.name;
+    m["gather_line_redux_" + tag] =
+        ell.gather_lines_per_iteration() > 0.0
+            ? sell_rcm.gather_lines_per_iteration() /
+                  ell.gather_lines_per_iteration()
+            : 0.0;
+    m["solve_cycle_ratio_" + tag] =
+        ell.solve_cycles() > 0.0
+            ? sell_rcm.solve_cycles() / ell.solve_cycles()
+            : 0.0;
+    m["ell_pad_fraction_" + tag] = ell.pad_fraction();
+    m["sell_rcm_pad_fraction_" + tag] = sell_rcm.pad_fraction();
+    m["sell_rcm_coalesced_lanes_" + tag] =
+        static_cast<double>(sell_rcm.coalesced_lanes);
+  }
+  return m;
+}
+
+void write_json(std::ostream& os, const Report& report) {
+  os << "{\n  \"schema\": \"vecfd-bench-v1\",\n  \"benches\": {\n";
+  bool first_bench = true;
+  for (const auto& [bench, metrics] : report) {
+    if (!first_bench) os << ",\n";
+    first_bench = false;
+    os << "    \"" << bench << "\": {\n";
+    bool first = true;
+    for (const auto& [key, value] : metrics) {
+      if (!first) os << ",\n";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", value);
+      os << "      \"" << key << "\": " << buf;
+    }
+    os << "\n    }";
+  }
+  os << "\n  }\n}\n";
+}
+
+/// Minimal reader for the exact shape write_json emits: "key": number
+/// pairs nested two levels deep.  Not a general JSON parser — it only has
+/// to round-trip our own files.
+std::optional<Report> read_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  Report report;
+  std::string bench;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    const auto q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string key = line.substr(q1 + 1, q2 - q1 - 1);
+    if (key == "schema" || key == "benches") continue;
+    const auto colon = line.find(':', q2);
+    if (colon == std::string::npos) continue;
+    const std::string rest = line.substr(colon + 1);
+    char* end = nullptr;
+    const double v = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str()) {
+      bench = key;  // a nested object opens: "<bench>": {
+      continue;
+    }
+    report[bench][key] = v;
+  }
+  return report;
+}
+
+int check(const Report& got, const Report& want, double tolerance) {
+  int bad = 0;
+  for (const auto& [bench, metrics] : want) {
+    for (const auto& [key, w] : metrics) {
+      const auto bi = got.find(bench);
+      if (bi == got.end() || bi->second.find(key) == bi->second.end()) {
+        std::cerr << "MISSING  " << bench << '.' << key << '\n';
+        ++bad;
+        continue;
+      }
+      const double g = bi->second.at(key);
+      if (std::abs(g - w) > tolerance * (1.0 + std::abs(w))) {
+        std::cerr << "DRIFT    " << bench << '.' << key << ": baseline "
+                  << w << ", measured " << g << '\n';
+        ++bad;
+      }
+    }
+  }
+  for (const auto& [bench, metrics] : got) {
+    for (const auto& [key, value] : metrics) {
+      (void)value;
+      const auto bi = want.find(bench);
+      if (bi == want.end() || bi->second.find(key) == bi->second.end()) {
+        std::cerr << "NEW      " << bench << '.' << key
+                  << " (not in baseline — regenerate with --out)\n";
+        ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 1e-6;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--out") {
+      const char* v = next();
+      if (!v) {
+        std::cerr << "bench_to_json: --out: missing value\n";
+        return 2;
+      }
+      out_path = v;
+    } else if (a == "--check") {
+      const char* v = next();
+      if (!v) {
+        std::cerr << "bench_to_json: --check: missing value\n";
+        return 2;
+      }
+      check_path = v;
+    } else if (a == "--tolerance") {
+      const char* v = next();
+      if (!v) {
+        std::cerr << "bench_to_json: --tolerance: missing value\n";
+        return 2;
+      }
+      tolerance = std::strtod(v, nullptr);
+    } else {
+      std::cerr << "usage: bench_to_json (--out FILE | --check FILE) "
+                   "[--tolerance REL]\n";
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+  if (out_path.empty() == check_path.empty()) {
+    std::cerr << "bench_to_json: pass exactly one of --out / --check\n";
+    return 2;
+  }
+
+  Report report;
+  report["multirhs_speedup"] = measure_multirhs();
+  report["spmv_format_sweep"] = measure_format_sweep();
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot open " << out_path << '\n';
+      return 2;
+    }
+    write_json(os, report);
+    std::cout << "wrote " << out_path << '\n';
+    return 0;
+  }
+
+  const auto baseline = read_json(check_path);
+  if (!baseline) {
+    std::cerr << "cannot read " << check_path << '\n';
+    return 2;
+  }
+  const int bad = check(report, *baseline, tolerance);
+  if (bad > 0) {
+    std::cerr << bad << " metric(s) drifted from " << check_path << '\n';
+    return 1;
+  }
+  std::cout << "all metrics within " << tolerance << " of " << check_path
+            << '\n';
+  return 0;
+}

@@ -51,6 +51,8 @@ struct Options {
   std::string machine = "riscv-vec";
   std::string opt = "vec1";
   std::string scheme = "explicit";
+  std::string format = "ell";
+  bool rcm = false;
   int vs = 240;
   int jobs = 0;  ///< sweep worker threads; 0 = all cores, 1 = serial
   bool sweep = false;
@@ -75,6 +77,11 @@ void usage(std::ostream& os) {
         "  --opt O       scalar | vanilla | vec2 | ivec2 | vec1\n"
         "                                      (default vec1)\n"
         "  --scheme S    explicit | semi       (default explicit)\n"
+        "  --format F    csr | ell | sell | auto — operator storage of the\n"
+        "                instrumented solves; auto asks the Advisor for the\n"
+        "                machine's format     (default ell)\n"
+        "  --rcm         reverse-Cuthill-McKee solve-space renumbering\n"
+        "                (transient runs)\n"
         "  --vs N        VECTOR_SIZE           (default 240)\n"
         "  --sweep       run the paper's full grid {16,64,128,240,256,512}\n"
         "                x {vanilla,vec2,ivec2,vec1} in parallel\n"
@@ -153,6 +160,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!v) return fail(a, "missing value");
       opt.scheme = v;
       opt.scheme_set = true;
+    } else if (a == "--format") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      opt.format = v;
+    } else if (a == "--rcm") {
+      opt.rcm = true;
     } else if (a == "--vs") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -253,7 +266,9 @@ void print_phase_row(core::Table& t, int p, double cycles, double share,
 
 void print_campaign_run(const core::CampaignRun& r) {
   std::cout << r.scenario << " / " << r.point.machine.name << " / "
-            << to_string(r.point.opt)
+            << to_string(r.point.opt) << " / "
+            << to_string(r.point.format)
+            << (r.point.rcm_renumber ? "+rcm" : "")
             << " / VECTOR_SIZE=" << r.point.vector_size << " / steps="
             << r.point.steps << '\n';
   std::cout << "  cycles=" << core::fmt(r.total_cycles, 0)
@@ -281,7 +296,7 @@ void print_campaign_run(const core::CampaignRun& r) {
 /// The transient path: a single TimeLoop run, or (--sweep) the full
 /// campaign over scenario x platform x VECTOR_SIZE.
 int run_transient(const Options& opts, const sim::MachineConfig& machine,
-                  miniapp::OptLevel level) {
+                  miniapp::OptLevel level, solver::SpmvFormat format) {
   std::vector<miniapp::Scenario> scens;
   if (opts.scenario || !opts.sweep) {
     const std::string name = opts.scenario.value_or("cavity");
@@ -309,13 +324,22 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
         platforms::riscv_vec(), platforms::riscv_vec_scalar(),
         platforms::sx_aurora(), platforms::mn4_avx512()};
     points = camp.grid(machines, miniapp::kStudiedVectorSizes, opts.steps);
-    for (auto& p : points) p.opt = level;
+    for (auto& p : points) {
+      p.opt = level;
+      // --format auto is a PER-MACHINE policy: in a sweep each platform
+      // gets its own recommendation, not the --machine flag's
+      p.format = opts.format == "auto" ? core::recommend_format(p.machine)
+                                       : format;
+      p.rcm_renumber = opts.rcm;
+    }
   } else {
     core::CampaignPoint p;
     p.machine = machine;
     p.vector_size = opts.vs;
     p.steps = opts.steps;
     p.opt = level;
+    p.format = format;
+    p.rcm_renumber = opts.rcm;
     points.push_back(p);
   }
 
@@ -405,6 +429,21 @@ int main(int argc, char** argv) {
                     "no matrix to solve)");
     return 2;
   }
+  solver::SpmvFormat format;
+  if (opts.format == "auto") {
+    format = core::recommend_format(*machine);
+  } else if (const auto f = solver::format_from_string(opts.format)) {
+    format = *f;
+  } else {
+    fail("--format", "unknown format '" + opts.format +
+                         "' (want csr, ell, sell or auto)");
+    return 2;
+  }
+  if (opts.rcm && !opts.transient()) {
+    fail("--rcm", "requires a transient run (add --steps or --scenario; "
+                  "the assembly sweep solves in assembly order)");
+    return 2;
+  }
 
   if (opts.transient()) {
     if (!opts.scheme_set) {
@@ -430,7 +469,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (opts.steps == 0) opts.steps = 5;  // --scenario implies a short loop
-    return run_transient(opts, *machine, *level);
+    return run_transient(opts, *machine, *level, format);
   }
 
   const fem::Mesh mesh({.nx = opts.nx, .ny = opts.ny, .nz = opts.nz});
@@ -442,6 +481,7 @@ int main(int argc, char** argv) {
   cfg.scheme = opts.scheme == "semi" ? fem::Scheme::kSemiImplicit
                                      : fem::Scheme::kExplicit;
   cfg.run_solve = opts.solve;
+  cfg.solve_format = format;
 
   std::vector<core::Measurement> ms;
   if (opts.sweep) {
