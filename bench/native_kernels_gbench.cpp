@@ -20,7 +20,7 @@ using vecfd::fem::kGauss;
 using vecfd::fem::kNodes;
 
 struct Data {
-  explicit Data(int vs, int nnode = 9000) : vs(vs) {
+  explicit Data(int vector_size, int nnode = 9000) : vs(vector_size) {
     std::mt19937 rng(123);
     std::uniform_int_distribution<int> node(0, nnode - 1);
     std::uniform_real_distribution<double> val(-1.0, 1.0);

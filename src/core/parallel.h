@@ -6,16 +6,56 @@
 // the index (expensive points don't serialize behind cheap ones), each
 // worker writing only its claimed slot (deterministic, race-free order),
 // and first-exception propagation after all workers join.
+//
+// This header and core/thread_annotations.h are the ONLY files allowed to
+// touch std::thread / std::mutex directly (vecfd-lint rule `raw-thread`);
+// everything shared across the workers is annotated for clang's
+// -Wthread-safety analysis, which the CI lint job compiles with -Werror.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace vecfd::core {
+
+/// First-exception capture shared by a worker pool: many workers may fail,
+/// exactly one exception survives to be rethrown on the spawning thread.
+/// The `failed` flag is read on the hot claim path, so it stays a relaxed
+/// atomic outside the capability; the exception slot itself is written at
+/// most once per pool and only under the mutex.
+class FirstError {
+ public:
+  /// Record @p e if no earlier failure was recorded.
+  void record(std::exception_ptr e) VECFD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!error_) error_ = e;
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Cheap cross-thread poll: has any worker failed yet?
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  /// Rethrow the recorded exception, if any.  Call after the pool joined
+  /// (single-threaded again), never from inside a worker.
+  void rethrow_if_set() VECFD_EXCLUDES(mu_) {
+    std::exception_ptr e;
+    {
+      MutexLock lock(mu_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ VECFD_GUARDED_BY(mu_);
+  std::atomic<bool> failed_{false};
+};
 
 /// Invoke `fn(i)` for every i in [0, count), fanning out over @p jobs
 /// worker threads (jobs <= 0 → std::thread::hardware_concurrency; 1 →
@@ -37,22 +77,18 @@ void parallel_for_index(std::size_t count, int jobs, Fn&& fn) {
   }
 
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  FirstError error;
 
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count || failed.load(std::memory_order_relaxed)) {
+      if (i >= count || error.failed()) {
         return;
       }
       try {
         fn(i);
       } catch (...) {
-        std::scoped_lock lock(error_mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        error.record(std::current_exception());
         return;
       }
     }
@@ -62,7 +98,7 @@ void parallel_for_index(std::size_t count, int jobs, Fn&& fn) {
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  error.rethrow_if_set();
 }
 
 }  // namespace vecfd::core

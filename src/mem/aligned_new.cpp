@@ -22,6 +22,12 @@
 #include <cstdlib>
 #include <new>
 
+#include "mem/measurement_guard.h"
+
+// The guard hooks below are inline no-ops unless VECFD_MEASUREMENT_GUARD is
+// defined (measurement_guard.h), so non-guard builds keep the exact
+// allocator code path and stay byte-stable against BENCH_PR5.json.
+
 namespace {
 
 constexpr std::size_t kMaxLineBytes = 128;
@@ -45,8 +51,22 @@ void* aligned_alloc_or_handler(std::size_t size) {
 }
 
 void* aligned_new(std::size_t size) {
-  if (void* p = aligned_alloc_or_handler(size)) return p;
+  if (void* p = aligned_alloc_or_handler(size)) {
+    vecfd::mem::guard::on_allocate(p, size);
+    return p;
+  }
   throw std::bad_alloc();
+}
+
+void* tracked_nothrow_new(std::size_t size) noexcept {
+  void* p = aligned_alloc_or_handler(size);
+  if (p != nullptr) vecfd::mem::guard::on_allocate(p, size);
+  return p;
+}
+
+void tracked_free(void* p) noexcept {
+  vecfd::mem::guard::on_deallocate(p);
+  std::free(p);
 }
 
 }  // namespace
@@ -55,10 +75,10 @@ void* operator new(std::size_t size) { return aligned_new(size); }
 void* operator new[](std::size_t size) { return aligned_new(size); }
 
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  return aligned_alloc_or_handler(size);
+  return tracked_nothrow_new(size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  return aligned_alloc_or_handler(size);
+  return tracked_nothrow_new(size);
 }
 
 void* operator new(std::size_t size, std::align_val_t align) {
@@ -67,7 +87,10 @@ void* operator new(std::size_t size, std::align_val_t align) {
   if (size > SIZE_MAX - (a - 1)) throw std::bad_alloc();
   const std::size_t padded = (size + a - 1) & ~(a - 1);
   for (;;) {
-    if (void* p = std::aligned_alloc(a, padded ? padded : a)) return p;
+    if (void* p = std::aligned_alloc(a, padded ? padded : a)) {
+      vecfd::mem::guard::on_allocate(p, size);
+      return p;
+    }
     if (std::new_handler h = std::get_new_handler()) {
       h();
     } else {
@@ -79,21 +102,21 @@ void* operator new[](std::size_t size, std::align_val_t align) {
   return operator new(size, align);
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { tracked_free(p); }
+void operator delete[](void* p) noexcept { tracked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { tracked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { tracked_free(p); }
 void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
+  tracked_free(p);
 }
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
+  tracked_free(p);
 }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { tracked_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { tracked_free(p); }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  tracked_free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  tracked_free(p);
 }

@@ -1,0 +1,174 @@
+// vecfd::mem — measurement-guard registry (see measurement_guard.h).
+//
+// The whole translation unit is empty unless VECFD_MEASUREMENT_GUARD is
+// defined: non-guard builds pay nothing, and the hooks they call are the
+// inline no-ops from the header.
+#ifdef VECFD_MEASUREMENT_GUARD
+
+#include "mem/measurement_guard.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/thread_annotations.h"
+
+namespace vecfd::mem::guard {
+namespace {
+
+/// One canonically-mapped host line of one live hierarchy.
+struct LineState {
+  std::uint64_t canonical_line = 0;
+  /// Set when the backing heap block was freed while this mapping was
+  /// live.  The tombstone itself is legal; a later measured re-touch of
+  /// the line (a new buffer re-aliasing it) is the abort condition.
+  bool freed = false;
+};
+
+/// Per-hierarchy host-line map.  Campaign fan-out runs one hierarchy per
+/// worker thread, and read-only inputs (meshes) are touched by several
+/// hierarchies at once, so lines are keyed per hierarchy and the registry
+/// is locked (core::Mutex — the annotated type the raw-thread lint rule
+/// and -Wthread-safety know about).
+using HierarchyLines = std::unordered_map<std::uintptr_t, LineState>;
+
+/// All allocations step on 128-byte boundaries (mem/aligned_new.cpp) and
+/// every modelled line size divides into 64-byte steps, so scanning a
+/// freed block at this granularity visits every possible line key.
+constexpr std::uintptr_t kScanStep = 64;
+
+class Registry {
+ public:
+  void on_allocate(void* p, std::size_t bytes) VECFD_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    blocks_[reinterpret_cast<std::uintptr_t>(p)] = bytes;
+  }
+
+  void on_deallocate(void* p) VECFD_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const auto it = blocks_.find(addr);
+    if (it == blocks_.end()) return;  // predates the registry (static init)
+    const std::size_t bytes = it->second;
+    blocks_.erase(it);
+    if (hierarchies_.empty() || bytes == 0) return;
+    // Tombstone every mapped line the block covers, in every live
+    // hierarchy's measurement region.
+    const std::uintptr_t first = addr & ~(kScanStep - 1);
+    const std::uintptr_t last = (addr + bytes - 1) & ~(kScanStep - 1);
+    for (auto& [hierarchy, lines] : hierarchies_) {
+      for (std::uintptr_t a = first; a <= last; a += kScanStep) {
+        const auto line = lines.find(a);
+        if (line != lines.end()) line->second.freed = true;
+      }
+    }
+  }
+
+  void on_line_mapped(const void* hierarchy, std::uintptr_t host_line,
+                      std::uint64_t canonical_line) VECFD_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    hierarchies_[hierarchy][host_line] = LineState{canonical_line, false};
+  }
+
+  void on_line_retouched(const void* hierarchy,
+                         std::uintptr_t host_line) VECFD_EXCLUDES(mu_) {
+    bool fire = false;
+    std::uint64_t canonical = 0;
+    {
+      core::MutexLock lock(mu_);
+      const auto h = hierarchies_.find(hierarchy);
+      if (h == hierarchies_.end()) return;
+      const auto line = h->second.find(host_line);
+      if (line == h->second.end() || !line->second.freed) return;
+      fire = true;
+      canonical = line->second.canonical_line;
+    }
+    if (fire) abort_on_alias(host_line, canonical);
+  }
+
+  void on_hierarchy_reset(const void* hierarchy) VECFD_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    hierarchies_.erase(hierarchy);
+  }
+
+ private:
+  [[noreturn]] static void abort_on_alias(std::uintptr_t host_line,
+                                          std::uint64_t canonical_line) {
+    std::fprintf(
+        stderr,
+        "vecfd measurement guard: measured access re-aliases canonical line "
+        "%" PRIu64 " (host line 0x%" PRIxPTR "), whose backing buffer was "
+        "freed mid-measurement.\nA new allocation inherited the freed "
+        "buffer's canonical cache line, so hit/miss behaviour now depends "
+        "on allocator history — the measurement is no longer a pure "
+        "function of its access sequence.\nHoist the buffer out of the "
+        "measured region (reusable workspace, in-place assign) as in "
+        "DESIGN.md §7.\n",
+        canonical_line, host_line);
+    std::abort();
+  }
+
+  core::Mutex mu_;
+  /// ptr -> requested size of every live heap block.
+  std::unordered_map<std::uintptr_t, std::size_t> blocks_
+      VECFD_GUARDED_BY(mu_);
+  /// Live hierarchy -> its canonically-mapped host lines.
+  std::unordered_map<const void*, HierarchyLines> hierarchies_
+      VECFD_GUARDED_BY(mu_);
+};
+
+/// Leaked singleton: hooks fire from global operator new/delete during
+/// static init and teardown, so the registry must outlive everything.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+/// The registry's own containers allocate through the hooked global
+/// operator new; this per-thread flag breaks the recursion (re-entrant
+/// allocations are registry-internal, never measured buffers).
+thread_local bool in_guard = false;
+
+class ReentryGuard {
+ public:
+  ReentryGuard() { in_guard = true; }
+  ~ReentryGuard() { in_guard = false; }
+};
+
+}  // namespace
+
+void on_allocate(void* p, std::size_t bytes) {
+  if (in_guard) return;
+  ReentryGuard g;
+  registry().on_allocate(p, bytes);
+}
+
+void on_deallocate(void* p) {
+  if (in_guard || p == nullptr) return;
+  ReentryGuard g;
+  registry().on_deallocate(p);
+}
+
+void on_line_mapped(const void* hierarchy, std::uintptr_t host_line,
+                    std::uint64_t canonical_line) {
+  if (in_guard) return;
+  ReentryGuard g;
+  registry().on_line_mapped(hierarchy, host_line, canonical_line);
+}
+
+void on_line_retouched(const void* hierarchy, std::uintptr_t host_line) {
+  if (in_guard) return;
+  ReentryGuard g;
+  registry().on_line_retouched(hierarchy, host_line);
+}
+
+void on_hierarchy_reset(const void* hierarchy) {
+  if (in_guard) return;
+  ReentryGuard g;
+  registry().on_hierarchy_reset(hierarchy);
+}
+
+}  // namespace vecfd::mem::guard
+
+#endif  // VECFD_MEASUREMENT_GUARD

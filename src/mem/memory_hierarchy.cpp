@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "mem/measurement_guard.h"
+
 namespace vecfd::mem {
 
 MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
@@ -27,7 +29,15 @@ std::uintptr_t MemoryHierarchy::canonical(std::uintptr_t addr) {
   const std::uintptr_t line = addr & ~line_mask_;
   const auto [it, inserted] =
       line_map_.try_emplace(line, next_line_ * (line_mask_ + 1));
-  if (inserted) ++next_line_;
+  if (inserted) {
+    guard::on_line_mapped(this, line, next_line_);
+    ++next_line_;
+  } else {
+    // Aborts in guard builds if this line's backing buffer was freed
+    // mid-measurement and a new allocation is re-aliasing it; a no-op
+    // otherwise (measurement_guard.h).
+    guard::on_line_retouched(this, line);
+  }
   return it->second | (addr & line_mask_);
 }
 
@@ -63,6 +73,9 @@ void MemoryHierarchy::flush() {
   l2_.flush();
   line_map_.clear();
   next_line_ = 0;
+  guard::on_hierarchy_reset(this);
 }
+
+MemoryHierarchy::~MemoryHierarchy() { guard::on_hierarchy_reset(this); }
 
 }  // namespace vecfd::mem

@@ -50,6 +50,11 @@ struct AccessResult {
 class MemoryHierarchy {
  public:
   explicit MemoryHierarchy(HierarchyConfig cfg);
+  /// Closes the measurement region in VECFD_MEASUREMENT_GUARD builds
+  /// (measurement_guard.h); trivial otherwise.
+  ~MemoryHierarchy();
+  MemoryHierarchy(const MemoryHierarchy&) = default;
+  MemoryHierarchy& operator=(const MemoryHierarchy&) = default;
 
   /// Touch the line containing @p addr.
   AccessResult access(std::uintptr_t addr);

@@ -2,8 +2,33 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace vecfd::solver {
+
+SolveReport& checked(SolveReport& rep) {
+  const bool len_ok =
+      rep.history.size() == static_cast<std::size_t>(rep.iterations) + 1;
+  // NaN residuals (a diverged solve) must compare equal to themselves here.
+  const bool back_ok =
+      !rep.history.empty() &&
+      (rep.history.back() == rep.residual ||
+       (std::isnan(rep.history.back()) && std::isnan(rep.residual)));
+  if (!len_ok || !back_ok) {
+    throw std::logic_error(
+        "SolveReport contract violated at solver exit: history.size()=" +
+        std::to_string(rep.history.size()) +
+        ", iterations=" + std::to_string(rep.iterations) +
+        " (want size == iterations + 1 and history.back() == residual; "
+        "see krylov.h)");
+  }
+  return rep;
+}
+
+std::vector<SolveReport>& checked(std::vector<SolveReport>& reps) {
+  for (SolveReport& rep : reps) checked(rep);
+  return reps;
+}
 
 double dot(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) {
@@ -88,7 +113,7 @@ SolveReport& breakdown_exit(SolveReport& rep, int it,
   rep.residual = rel;
   rep.history.push_back(rel);
   if (rel < rel_tolerance) rep.converged = true;
-  return rep;
+  return checked(rep);
 }
 }  // namespace
 
@@ -104,7 +129,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
     std::fill(x.begin(), x.end(), 0.0);
     rep.converged = true;
     rep.history.push_back(0.0);
-    return rep;
+    return checked(rep);
   }
   std::vector<double> dinv;
   if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
@@ -117,7 +142,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
   rep.history.push_back(rel0);
   if (rel0 < opts.rel_tolerance) {
     rep.converged = true;
-    return rep;
+    return checked(rep);
   }
   apply_precond(dinv, r, z);
   p = z;
@@ -127,7 +152,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
     a.spmv(p, ap);
     const double pap = dot(p, ap);
     if (pap == 0.0) {
-      return breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance);
+      return checked(breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance));
     }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
@@ -138,7 +163,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
     rep.residual = rel;
     if (rel < opts.rel_tolerance) {
       rep.converged = true;
-      return rep;
+      return checked(rep);
     }
     apply_precond(dinv, r, z);
     const double rz_new = dot(r, z);
@@ -146,7 +171,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
-  return rep;
+  return checked(rep);
 }
 
 SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
@@ -161,7 +186,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     std::fill(x.begin(), x.end(), 0.0);
     rep.converged = true;
     rep.history.push_back(0.0);
-    return rep;
+    return checked(rep);
   }
   std::vector<double> dinv;
   if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
@@ -175,7 +200,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
   rep.history.push_back(rel0);
   if (rel0 < opts.rel_tolerance) {
     rep.converged = true;
-    return rep;
+    return checked(rep);
   }
   r0 = r;
   double rho = 1.0;
@@ -192,7 +217,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       rho_new = dot(r, r);
       if (rho_new == 0.0) {
         // r is exactly zero: the iterate is an exact solution.
-        return breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance);
+        return checked(breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance));
       }
       restart = true;
     }
@@ -209,7 +234,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     a.spmv(phat, v);
     const double r0v = dot(r0, v);
     if (r0v == 0.0) {
-      return breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance);
+      return checked(breakdown_exit(rep, it, r, bnorm, opts.rel_tolerance));
     }
     alpha = rho / r0v;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
@@ -219,7 +244,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       rep.residual = norm2(s) / bnorm;
       rep.history.push_back(rep.residual);
       rep.converged = true;
-      return rep;
+      return checked(rep);
     }
     apply_precond(dinv, s, shat);
     a.spmv(shat, t);
@@ -228,7 +253,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
       // Apply the valid half-step so x is consistent with the reported
       // residual s = b - A·(x + α·p̂).
       axpy(alpha, phat, x);
-      return breakdown_exit(rep, it, s, bnorm, opts.rel_tolerance);
+      return checked(breakdown_exit(rep, it, s, bnorm, opts.rel_tolerance));
     }
     omega = dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
@@ -241,13 +266,13 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     rep.residual = rel;
     if (rel < opts.rel_tolerance) {
       rep.converged = true;
-      return rep;
+      return checked(rep);
     }
     // ω = 0 is a breakdown, but x, residual and history were just updated
     // above, so the exit already satisfies the reporting contract.
     if (omega == 0.0) break;
   }
-  return rep;
+  return checked(rep);
 }
 
 std::vector<SolveReport> bicgstab_multi(const CsrMatrix& a,
@@ -400,7 +425,7 @@ std::vector<SolveReport> bicgstab_multi(const CsrMatrix& a,
       if (omega[ud] == 0.0) retire(d);  // ω breakdown: already reported
     }
   }
-  return reps;
+  return checked(reps);
 }
 
 }  // namespace vecfd::solver

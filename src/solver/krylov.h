@@ -44,6 +44,19 @@ struct SolveReport {
   std::vector<double> history;  ///< [0] initial + one entry per iteration
 };
 
+/// Always-on exit gate for the contract above: every solver return path in
+/// this library funnels through `checked(...)` — vecfd-lint rule
+/// `solve-report-history` rejects a bare `return rep;` in any function
+/// returning SolveReport — so a producer that breaks the
+/// `history.size() == iterations + 1` / `history.back() == residual`
+/// invariant fails loudly at the exit that broke it instead of corrupting
+/// downstream per-iteration analyses (the PR 4 off-by-one class).
+/// @throws std::logic_error on a violated invariant.
+SolveReport& checked(SolveReport& rep);
+
+/// Per-column gate for the multi-RHS producers.
+std::vector<SolveReport>& checked(std::vector<SolveReport>& reps);
+
 /// Conjugate gradients — for symmetric positive-definite systems (e.g. the
 /// pressure Poisson operator or the pure-viscous momentum matrix).
 SolveReport cg(const CsrMatrix& a, std::span<const double> b,

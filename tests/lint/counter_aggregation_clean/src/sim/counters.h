@@ -1,0 +1,32 @@
+// vecfd-lint fixture: counter-aggregation COMPLIANT (mini repo root) —
+// every field appears in operator+=, operator-= and the conservation test.
+// Parsed only by tools/vecfd_lint.py --self-test via --repo-root.
+#pragma once
+#include <cstdint>
+
+namespace vecfd::sim {
+
+struct Counters {
+  std::uint64_t cycles = 0;
+  double flops = 0.0;
+
+  Counters& operator+=(const Counters& o);
+  Counters& operator-=(const Counters& o);
+
+  /// Derived accessors carry no '=' initialiser, so they are not fields.
+  std::uint64_t total() const { return cycles; }
+};
+
+inline Counters& Counters::operator+=(const Counters& o) {
+  cycles += o.cycles;
+  flops += o.flops;
+  return *this;
+}
+
+inline Counters& Counters::operator-=(const Counters& o) {
+  cycles -= o.cycles;
+  flops -= o.flops;
+  return *this;
+}
+
+}  // namespace vecfd::sim

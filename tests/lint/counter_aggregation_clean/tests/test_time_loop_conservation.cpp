@@ -1,0 +1,8 @@
+// vecfd-lint fixture: conservation coverage for both fields.  Not compiled.
+#include "sim/counters.h"
+
+void check(const vecfd::sim::Counters& total,
+           const vecfd::sim::Counters& sum) {
+  (void)total.cycles;
+  (void)sum.flops;
+}

@@ -1,0 +1,32 @@
+// vecfd-lint fixture: counter-aggregation VIOLATIONS (mini repo root).
+// Parsed only by tools/vecfd_lint.py --self-test via --repo-root.
+#pragma once
+#include <cstdint>
+
+namespace vecfd::sim {
+
+struct Counters {
+  std::uint64_t ok_counter = 0;
+  std::uint64_t missing_plus = 0;  // EXPECT-FINDING(counter-aggregation)
+  std::uint64_t missing_minus = 0;  // EXPECT-FINDING(counter-aggregation)
+  double missing_test = 0.0;  // EXPECT-FINDING(counter-aggregation)
+
+  Counters& operator+=(const Counters& o);
+  Counters& operator-=(const Counters& o);
+};
+
+inline Counters& Counters::operator+=(const Counters& o) {
+  ok_counter += o.ok_counter;
+  missing_minus += o.missing_minus;
+  missing_test += o.missing_test;
+  return *this;
+}
+
+inline Counters& Counters::operator-=(const Counters& o) {
+  ok_counter -= o.ok_counter;
+  missing_plus -= o.missing_plus;
+  missing_test -= o.missing_test;
+  return *this;
+}
+
+}  // namespace vecfd::sim

@@ -1,0 +1,11 @@
+// vecfd-lint fixture: the conservation test covers ok_counter, missing_plus
+// and missing_minus but NOT missing_test — so missing_test must be flagged.
+// Not compiled.
+#include "sim/counters.h"
+
+void check(const vecfd::sim::Counters& total,
+           const vecfd::sim::Counters& sum) {
+  (void)total.ok_counter;
+  (void)sum.missing_plus;
+  (void)sum.missing_minus;
+}

@@ -1,0 +1,27 @@
+// vecfd-lint fixture: csv-phase-literal COMPLIANT patterns — zero
+// findings.  Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <string>
+
+namespace miniapp {
+inline constexpr int kNumInstrumentedPhases = 10;
+}
+
+namespace fixture {
+
+// The compliant pattern (src/core/csv.cpp): derive every phase column
+// from kNumInstrumentedPhases so header and rows can never desync.
+std::string good_header() {
+  std::string h = "scenario";
+  for (int p = 0; p < miniapp::kNumInstrumentedPhases; ++p) {
+    h += ",ph" + std::to_string(p) + "_cycles";  // built, not hard-coded
+  }
+  return h + "\n";
+}
+
+// "ph" followed by a non-digit is not a phase column.
+const char* kLabel = "phase table";
+
+// Comments may say ph9_cycles freely; only string literals are schema.
+std::string good_doc() { return "see DESIGN.md"; }
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// vecfd-lint fixture: csv-phase-literal VIOLATIONS.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <string>
+
+namespace fixture {
+
+// Hard-coding one phase's column name is exactly how the PR 2 CSV
+// header/row desync happened: the header said N phases, the rows wrote M.
+std::string bad_header() {
+  return "scenario,ph0_cycles,ph1_cycles\n";  // EXPECT-FINDING(csv-phase-literal)
+}
+
+std::string bad_key() {
+  std::string k = "ph9_l2_misses";  // EXPECT-FINDING(csv-phase-literal)
+  return k;
+}
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// vecfd-lint fixture: measured-alloc COMPLIANT patterns — zero findings.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <vector>
+
+namespace sim {
+class Vpu;
+}
+
+namespace fixture {
+
+double vnorm2(sim::Vpu& vpu, const std::vector<double>& v);
+
+/// Hoisted workspace: all storage exists before the region opens.
+struct Workspace {
+  std::vector<double> scratch;
+};
+
+// Allocation BEFORE the first Vpu use is outside the measurement region.
+double good_hoisted(sim::Vpu& vpu, const std::vector<double>& x) {
+  std::vector<double> scratch(x.size());  // region not open yet: fine
+  double n = vnorm2(vpu, x);
+  scratch[0] = n;
+  return vnorm2(vpu, scratch);
+}
+
+// In-place refresh of a reusable workspace keeps the same heap block in
+// the steady state — the compliant pattern from the PR 3 fix.
+double good_workspace(sim::Vpu& vpu, Workspace& ws,
+                      const std::vector<double>& x) {
+  double n = vnorm2(vpu, x);
+  ws.scratch.assign(x.size(), n);  // assign: no flagged churn
+  return vnorm2(vpu, ws.scratch);
+}
+
+// Reference bindings name existing buffers; they allocate nothing.
+double good_reference(sim::Vpu& vpu, Workspace& ws) {
+  double n = vnorm2(vpu, ws.scratch);
+  std::vector<double>& r = ws.scratch;
+  return n + vnorm2(vpu, r);
+}
+
+// Functions that never touch the Vpu have no measurement region at all.
+double no_region(sim::Vpu& /*vpu*/, const std::vector<double>& x) {
+  std::vector<double> copy(x);
+  return copy.empty() ? 0.0 : copy[0];
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// vecfd-lint fixture: measured-alloc VIOLATIONS.
+// Each line tagged EXPECT-FINDING(...) must be reported; nothing else may be.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <vector>
+
+namespace sim {
+class Vpu;
+}
+
+namespace fixture {
+
+double vnorm2(sim::Vpu& vpu, const std::vector<double>& v);
+
+// The PR 3 bug shape: a scratch vector allocated after measurement starts.
+double bad_kernel(sim::Vpu& vpu, const std::vector<double>& x) {
+  double n = vnorm2(vpu, x);  // first Vpu use: the measurement region opens
+  std::vector<double> scratch(x.size());  // EXPECT-FINDING(measured-alloc)
+  scratch[0] = n;
+  return vnorm2(vpu, scratch);
+}
+
+// Resizing a live buffer mid-region can free-and-realloc its lines.
+double bad_resize(sim::Vpu& vpu, std::vector<double>& work) {
+  double n = vnorm2(vpu, work);
+  work.resize(work.size() * 2);  // EXPECT-FINDING(measured-alloc)
+  return n + vnorm2(vpu, work);
+}
+
+// Raw delete of a (potentially touched) buffer inside the region.
+double bad_delete(sim::Vpu& vpu, const std::vector<double>& x) {
+  double n = vnorm2(vpu, x);
+  double* tmp = new double[8];
+  tmp[0] = n;
+  n += tmp[0];
+  delete[] tmp;  // EXPECT-FINDING(measured-alloc)
+  return n;
+}
+
+}  // namespace fixture

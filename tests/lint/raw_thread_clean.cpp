@@ -1,0 +1,23 @@
+// vecfd-lint fixture: raw-thread COMPLIANT patterns — zero findings.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <atomic>
+
+namespace core {
+class Mutex;
+class MutexLock;
+void parallel_for_index(int n, int grain, void (*body)(int));
+}  // namespace core
+
+namespace fixture {
+
+// Fan-out through the annotated pool, locking through core::Mutex — the
+// only primitives the thread-safety analysis and TSan job vouch for.
+void good_fanout(int n) { core::parallel_for_index(n, 1, nullptr); }
+
+// Atomics are allowed: they carry no lock to annotate.
+std::atomic<int> progress{0};
+
+// std::thread in comments and "std::mutex" in strings are not code.
+const char* kDoc = "std::mutex belongs in core/parallel.h only";
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// vecfd-lint fixture: raw-thread VIOLATIONS.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+int worker();
+
+int bad_fanout() {
+  std::thread t(worker);  // EXPECT-FINDING(raw-thread)
+  t.join();
+  return 0;
+}
+
+class BadCounter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> g(mu_);  // EXPECT-FINDING(raw-thread) EXPECT-FINDING(raw-thread)
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // EXPECT-FINDING(raw-thread)
+  int n_ = 0;
+};
+
+// Mentioning std::thread in a comment or string is NOT a finding:
+// std::thread is fine to discuss.
+const char* kDoc = "never use std::thread directly";
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// vecfd-lint fixture: solve-report-history COMPLIANT patterns — zero
+// findings.  Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <utility>
+#include <vector>
+
+namespace solver {
+struct SolveReport {
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;
+  std::vector<double> history;
+};
+SolveReport& checked(SolveReport& rep);
+std::vector<SolveReport>& checked(std::vector<SolveReport>& reps);
+}  // namespace solver
+
+namespace fixture {
+
+using solver::SolveReport;
+using solver::checked;
+
+// Every exit funnels through the gate.
+SolveReport good_solver(int iters) {
+  SolveReport rep;
+  rep.history.push_back(1.0);
+  for (int it = 0; it < iters; ++it) {
+    rep.iterations = it + 1;
+    rep.history.push_back(0.5);
+    rep.residual = rep.history.back();
+  }
+  rep.residual = rep.history.back();
+  return checked(rep);
+}
+
+std::vector<SolveReport> good_multi(int k) {
+  std::vector<SolveReport> reps(static_cast<std::size_t>(k));
+  for (auto& rep : reps) rep.history.push_back(0.0);
+  return checked(reps);
+}
+
+// Reference-returning helpers (like checked() itself) pass reports
+// through; the gate applies to by-value producers only.
+SolveReport& passthrough(SolveReport& rep) { return rep; }
+
+// Nested lambdas returning non-report values are not producer exits.
+SolveReport good_with_lambda(int iters) {
+  SolveReport rep;
+  rep.history.push_back(1.0);
+  auto half = [](int v) { return v / 2; };
+  rep.iterations = half(iters) * 0;
+  rep.residual = rep.history.back();
+  return checked(rep);
+}
+
+}  // namespace fixture

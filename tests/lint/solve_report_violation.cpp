@@ -1,0 +1,42 @@
+// vecfd-lint fixture: solve-report-history VIOLATIONS.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <vector>
+
+namespace solver {
+struct SolveReport {
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;
+  std::vector<double> history;
+};
+SolveReport& checked(SolveReport& rep);
+}  // namespace solver
+
+namespace fixture {
+
+using solver::SolveReport;
+
+// A producer returning its report without the checked() gate: the PR 4
+// history off-by-one class escapes unverified.
+SolveReport bad_solver(int iters) {
+  SolveReport rep;
+  rep.iterations = iters;
+  if (iters == 0) {
+    return rep;  // EXPECT-FINDING(solve-report-history)
+  }
+  rep.history.push_back(0.0);
+  return rep;  // EXPECT-FINDING(solve-report-history)
+}
+
+// A braced literal bypasses the gate just as thoroughly.
+SolveReport bad_literal() {
+  return SolveReport{true, 0, 0.0, {}};  // EXPECT-FINDING(solve-report-history)
+}
+
+// Multi-RHS producers owe the gate per column.
+std::vector<SolveReport> bad_multi(int k) {
+  std::vector<SolveReport> reps(static_cast<std::size_t>(k));
+  return reps;  // EXPECT-FINDING(solve-report-history)
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// vecfd-lint fixture: inline suppressions — zero findings.  Each would-be
+// violation carries a justified `vecfd-lint: allow(...)` marker on the
+// offending line or the line above.  Not compiled.
+#include <vector>
+
+namespace sim {
+class Vpu;
+}
+
+namespace fixture {
+
+double vnorm2(sim::Vpu& vpu, const std::vector<double>& v);
+
+double suppressed_alloc(sim::Vpu& vpu, const std::vector<double>& x) {
+  double n = vnorm2(vpu, x);
+  // vecfd-lint: allow(measured-alloc) fixture: storage never Vpu-touched
+  std::vector<double> scratch(x.size());
+  scratch[0] = n;
+  return scratch[0];
+}
+
+std::string suppressed_phase_key() {
+  return "ph9_cycles";  // vecfd-lint: allow(csv-phase-literal) fixture demo
+}
+
+}  // namespace fixture

@@ -1,0 +1,112 @@
+// CLI contract of the bench_to_json binary's --check mode: a missing,
+// unreadable or corrupt baseline is a usage error — exit 2 with the
+// offending path on stderr, BEFORE any measurement runs (fail-fast: the
+// error must surface in well under the multi-second measurement pass).
+// Drift stays exit 1 and is covered by the bench-baseline CI job.
+//
+// CMake injects the binary path as VECFD_BENCH_TO_JSON_BIN.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kBin = VECFD_BENCH_TO_JSON_BIN;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stderr_text;
+  double seconds = 0.0;
+};
+
+RunResult run_check(const std::string& baseline_path) {
+  const std::string cmd =
+      kBin + " --check " + baseline_path + " 2>&1 1>/dev/null";
+  const auto t0 = std::chrono::steady_clock::now();
+  FILE* p = popen(cmd.c_str(), "r");
+  EXPECT_NE(p, nullptr);
+  RunResult r;
+  char buf[256];
+  while (p != nullptr && fgets(buf, sizeof buf, p) != nullptr) {
+    r.stderr_text += buf;
+  }
+  if (p != nullptr) {
+    const int rc = pclose(p);
+    r.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  }
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  return r;
+}
+
+fs::path write_temp(const std::string& name, const std::string& content) {
+  const fs::path path = fs::temp_directory_path() / name;
+  std::ofstream os(path, std::ios::binary);
+  os << content;
+  return path;
+}
+
+TEST(BenchContract, MissingBaselineExitsTwoNamingThePath) {
+  const std::string path =
+      (fs::temp_directory_path() / "vecfd_no_such_baseline.json").string();
+  fs::remove(path);
+  const RunResult r = run_check(path);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find(path), std::string::npos)
+      << "stderr must name the offending path:\n"
+      << r.stderr_text;
+}
+
+TEST(BenchContract, CorruptBaselineWithoutSchemaMarkerExitsTwo) {
+  const fs::path path = write_temp("vecfd_corrupt_baseline.json",
+                                   "{ \"benches\": { \"b\": { \"m\": 1 } } }\n");
+  const RunResult r = run_check(path.string());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find(path.string()), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("vecfd-bench-v1"), std::string::npos)
+      << "stderr must say what marker is missing:\n"
+      << r.stderr_text;
+  fs::remove(path);
+}
+
+TEST(BenchContract, TruncatedBaselineWithNoMetricsExitsTwo) {
+  // Schema marker present but every metric gone (e.g. a truncated write):
+  // must NOT masquerade as "everything drifted" (exit 1).
+  const fs::path path = write_temp(
+      "vecfd_empty_baseline.json",
+      "{\n  \"schema\": \"vecfd-bench-v1\",\n  \"benches\": {\n  }\n}\n");
+  const RunResult r = run_check(path.string());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find(path.string()), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("no numeric metrics"), std::string::npos)
+      << r.stderr_text;
+  fs::remove(path);
+}
+
+TEST(BenchContract, BrokenBaselineFailsBeforeMeasuring) {
+  // The whole point of validating up front: the failure must arrive in
+  // fractions of a second, not after the measurement pass (which takes
+  // multiple seconds even on fast hosts).
+  const fs::path path = write_temp("vecfd_fast_fail_baseline.json", "junk\n");
+  const RunResult r = run_check(path.string());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_LT(r.seconds, 2.0) << "validation must precede measurement";
+  fs::remove(path);
+}
+
+TEST(BenchContract, UsageErrorsExitTwo) {
+  const RunResult both = run_check("a.json --out b.json");
+  EXPECT_EQ(both.exit_code, 2);
+}
+
+}  // namespace

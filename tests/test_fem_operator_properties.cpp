@@ -117,7 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.001, 0.01, 0.1),  // viscosity
                        ::testing::Values(0.01, 0.1),         // dt
                        ::testing::Values(0.5, 1.0, 2.0)),    // density
-    [](const auto& info) {
+    // `param_info`, not `info`: the macro splices this lambda into a gtest
+    // function whose parameter is already named `info` (-Wshadow).
+    [](const auto& param_info) {
       auto tag = [](double v) {
         std::string s = std::to_string(v);
         for (char& c : s) {
@@ -125,9 +127,9 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return s.substr(0, 6);
       };
-      return "mu" + tag(std::get<0>(info.param)) + "_dt" +
-             tag(std::get<1>(info.param)) + "_rho" +
-             tag(std::get<2>(info.param));
+      return "mu" + tag(std::get<0>(param_info.param)) + "_dt" +
+             tag(std::get<1>(param_info.param)) + "_rho" +
+             tag(std::get<2>(param_info.param));
     });
 
 TEST(OperatorProperties, UniformFlowHasNoViscousResidual) {

@@ -120,13 +120,23 @@ TEST(FormatEquivalence, KrylovHistoriesBitIdenticalAcrossFormats) {
       for (const SpmvFormat fmt : kFormats) {
         const std::string what = std::string(to_string(fmt)) + " on " +
                                  m.name + " trial " + std::to_string(trial);
-        sim::Vpu vpu(m);
+        // One Vpu per solve: running both on a shared Vpu would free the
+        // first solve's internal workspace mid-measurement-region and let
+        // the second solve re-alias its canonical lines — the exact churn
+        // the VECFD_MEASUREMENT_GUARD build aborts on (numerics would be
+        // fine; the second solve's counters would not be).
         std::vector<double> xcg(static_cast<std::size_t>(n), 0.0);
-        const SolveReport cg_rep =
-            solver::vcg(vpu, spd, b, xcg, opts, 48, nullptr, fmt);
+        SolveReport cg_rep;
+        {
+          sim::Vpu vpu(m);
+          cg_rep = solver::vcg(vpu, spd, b, xcg, opts, 48, nullptr, fmt);
+        }
         std::vector<double> xbi(static_cast<std::size_t>(n), 0.0);
-        const SolveReport bi_rep =
-            solver::vbicgstab(vpu, gen, b, xbi, opts, 48, nullptr, fmt);
+        SolveReport bi_rep;
+        {
+          sim::Vpu vpu(m);
+          bi_rep = solver::vbicgstab(vpu, gen, b, xbi, opts, 48, nullptr, fmt);
+        }
         EXPECT_TRUE(cg_rep.converged) << what;
         EXPECT_TRUE(bi_rep.converged) << what;
         if (fmt == SpmvFormat::kCsrHost) {
@@ -207,19 +217,32 @@ TEST(FormatEquivalence, BreakdownAndEdgeExitsBitIdenticalAcrossFormats) {
     for (const SpmvFormat fmt : kFormats) {
       const std::string what =
           std::string(to_string(fmt)) + " on " + m.name;
-      sim::Vpu vpu(m);
+      // One Vpu per solve (see KrylovHistoriesBitIdenticalAcrossFormats):
+      // a shared Vpu would let each solve re-alias the previous solve's
+      // freed workspace lines — the churn the measurement-guard build
+      // aborts on.
       std::vector<double> x1(2, 0.0);
-      const SolveReport broke =
-          solver::vcg(vpu, ind, b2, x1, {}, 2, nullptr, fmt);
+      SolveReport broke;
+      {
+        sim::Vpu vpu(m);
+        broke = solver::vcg(vpu, ind, b2, x1, {}, 2, nullptr, fmt);
+      }
       EXPECT_FALSE(broke.converged) << what;
       std::vector<double> x2(static_cast<std::size_t>(n), 0.0);
-      const SolveReport budget = solver::vcg(
-          vpu, spd, b, x2, {.max_iterations = 2, .rel_tolerance = 1e-30},
-          16, nullptr, fmt);
+      SolveReport budget;
+      {
+        sim::Vpu vpu(m);
+        budget = solver::vcg(
+            vpu, spd, b, x2, {.max_iterations = 2, .rel_tolerance = 1e-30},
+            16, nullptr, fmt);
+      }
       EXPECT_FALSE(budget.converged) << what;
       std::vector<double> x3(static_cast<std::size_t>(n), 0.0);
-      const SolveReport under =
-          solver::vcg(vpu, diag, tiny, x3, {}, 16, nullptr, fmt);
+      SolveReport under;
+      {
+        sim::Vpu vpu(m);
+        under = solver::vcg(vpu, diag, tiny, x3, {}, 16, nullptr, fmt);
+      }
       EXPECT_FALSE(under.converged) << what;
       if (!have_ref) {
         ref = {broke, budget, under};

@@ -83,9 +83,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          OptLevel::kVec1),
                        // 24 exercises tail padding (64 % 24 != 0)
                        ::testing::Values(8, 16, 24, 64)),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_vs" +
-             std::to_string(std::get<1>(info.param));
+    // `param_info`, not `info`: the macro splices this lambda into a gtest
+    // function whose parameter is already named `info` (-Wshadow).
+    [](const auto& param_info) {
+      return std::string(to_string(std::get<0>(param_info.param))) + "_vs" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(EquivalenceSemiImplicit, MatrixAndRhsMatchReference) {

@@ -19,7 +19,8 @@ using vecfd::fem::kGauss;
 using vecfd::fem::kNodes;
 
 struct GatherFixture {
-  explicit GatherFixture(int vs, int nnode = 1000) : vs(vs) {
+  explicit GatherFixture(int vector_size, int nnode = 1000)
+      : vs(vector_size) {
     std::mt19937 rng(11);
     std::uniform_int_distribution<int> node(0, nnode - 1);
     std::uniform_real_distribution<double> val(-1.0, 1.0);

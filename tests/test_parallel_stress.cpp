@@ -1,0 +1,117 @@
+// Stress suite for the core/parallel.h fan-out primitive — written to give
+// TSan (and the clang thread-safety analysis over core::Mutex /
+// FirstError) contended executions to chew on: oversubscribed pools, a
+// shared accumulator, many-threads-throwing races on the FirstError slot,
+// and back-to-back pool lifecycles.  The CI tsan job runs this suite with
+// the rest of `ctest -LE slow` under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace {
+
+using vecfd::core::FirstError;
+using vecfd::core::parallel_for_index;
+
+TEST(ParallelStress, OversubscribedPoolCoversEveryIndexExactlyOnce) {
+  // More workers than cores and more tasks than workers: each slot must be
+  // written exactly once, with no index skipped or claimed twice.
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_index(n, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelStress, SharedAtomicAccumulatorIsExact) {
+  const std::size_t n = 50000;
+  std::atomic<long long> sum{0};
+  parallel_for_index(n, 8, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i) + 1, std::memory_order_relaxed);
+  });
+  const long long want = static_cast<long long>(n) * (n + 1) / 2;
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(ParallelStress, ManyConcurrentThrowersKeepExactlyOneException) {
+  // Every task throws: the FirstError slot is hammered from all workers at
+  // once, yet exactly one exception must survive to the spawning thread
+  // and the pool must still join cleanly.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      parallel_for_index(256, 8, [&](std::size_t i) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "expected the pool to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+    }
+  }
+}
+
+TEST(ParallelStress, FailureShortCircuitsLaterClaims) {
+  // After a worker records a failure, the claim loop drains: far fewer
+  // than `count` tasks should run (never more than count, and the pool
+  // must not deadlock waiting for abandoned work).
+  std::atomic<std::size_t> ran{0};
+  try {
+    parallel_for_index(100000, 4, [&](std::size_t i) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 0) throw std::logic_error("early");
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_LE(ran.load(), 100000u);
+  EXPECT_GE(ran.load(), 1u);
+}
+
+TEST(ParallelStress, BackToBackPoolsReuseCleanly) {
+  // Pool construction/teardown is per call; rapid lifecycles must not leak
+  // state between rounds (each round's accumulator starts from zero).
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    parallel_for_index(64, 8, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ParallelStress, FirstErrorRecordRaceKeepsFirstNonNull) {
+  // Direct FirstError contention, independent of the pool: concurrent
+  // record() calls must leave exactly one stored exception and a set flag.
+  FirstError err;
+  parallel_for_index(64, 8, [&](std::size_t i) {
+    try {
+      throw std::runtime_error("r" + std::to_string(i));
+    } catch (...) {
+      err.record(std::current_exception());
+    }
+  });
+  EXPECT_TRUE(err.failed());
+  EXPECT_THROW(err.rethrow_if_set(), std::runtime_error);
+}
+
+TEST(ParallelStress, SerialFallbackMatchesParallelResult) {
+  const std::size_t n = 1000;
+  std::vector<double> serial(n), parallel(n);
+  parallel_for_index(n, 1, [&](std::size_t i) {
+    serial[i] = static_cast<double>(i) * 0.5;
+  });
+  parallel_for_index(n, 8, [&](std::size_t i) {
+    parallel[i] = static_cast<double>(i) * 0.5;
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace

@@ -70,6 +70,9 @@ Metrics measure_multirhs() {
     worst_avl_drift = std::max(worst_avl_drift, cmp.avl_drift);
     const std::string tag = "vs" + std::to_string(vs);
     m["slab_redux_" + tag] = cmp.redux;
+    // JSON metric key for the fixed phase-9 speedup headline, not a CSV
+    // schema column:
+    // vecfd-lint: allow(csv-phase-literal) fixed headline key, not a schema
     m["ph9_speedup_" + tag] =
         blk.cycles > 0.0 ? pc.cycles / blk.cycles : 0.0;
   }
@@ -133,13 +136,24 @@ void write_json(std::ostream& os, const Report& report) {
   os << "\n  }\n}\n";
 }
 
+struct Baseline {
+  Report report;
+  bool schema_ok = false;  ///< carried the "vecfd-bench-v1" schema marker
+
+  std::size_t num_metrics() const {
+    std::size_t n = 0;
+    for (const auto& [bench, metrics] : report) n += metrics.size();
+    return n;
+  }
+};
+
 /// Minimal reader for the exact shape write_json emits: "key": number
 /// pairs nested two levels deep.  Not a general JSON parser — it only has
 /// to round-trip our own files.
-std::optional<Report> read_json(const std::string& path) {
+std::optional<Baseline> read_json(const std::string& path) {
   std::ifstream is(path);
   if (!is) return std::nullopt;
-  Report report;
+  Baseline baseline;
   std::string bench;
   std::string line;
   while (std::getline(is, line)) {
@@ -148,7 +162,12 @@ std::optional<Report> read_json(const std::string& path) {
     const auto q2 = line.find('"', q1 + 1);
     if (q2 == std::string::npos) continue;
     const std::string key = line.substr(q1 + 1, q2 - q1 - 1);
-    if (key == "schema" || key == "benches") continue;
+    if (key == "schema") {
+      baseline.schema_ok =
+          line.find("\"vecfd-bench-v1\"", q2 + 1) != std::string::npos;
+      continue;
+    }
+    if (key == "benches") continue;
     const auto colon = line.find(':', q2);
     if (colon == std::string::npos) continue;
     const std::string rest = line.substr(colon + 1);
@@ -158,9 +177,33 @@ std::optional<Report> read_json(const std::string& path) {
       bench = key;  // a nested object opens: "<bench>": {
       continue;
     }
-    report[bench][key] = v;
+    baseline.report[bench][key] = v;
   }
-  return report;
+  return baseline;
+}
+
+/// Baseline-file contract, enforced BEFORE any measurement runs: a missing,
+/// unreadable or corrupt baseline is a usage error (exit 2, offending path
+/// on stderr), distinct from measured drift (exit 1) — CI must not spend a
+/// measurement pass to discover a broken checkout, and a truncated
+/// BENCH_PR5.json must not masquerade as "everything drifted".
+std::optional<Baseline> load_baseline(const std::string& path) {
+  auto baseline = read_json(path);
+  if (!baseline) {
+    std::cerr << "bench_to_json: cannot read baseline " << path << '\n';
+    return std::nullopt;
+  }
+  if (!baseline->schema_ok) {
+    std::cerr << "bench_to_json: corrupt baseline " << path
+              << ": missing \"schema\": \"vecfd-bench-v1\" marker\n";
+    return std::nullopt;
+  }
+  if (baseline->num_metrics() == 0) {
+    std::cerr << "bench_to_json: corrupt baseline " << path
+              << ": no numeric metrics\n";
+    return std::nullopt;
+  }
+  return baseline;
 }
 
 int check(const Report& got, const Report& want, double tolerance) {
@@ -238,6 +281,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Validate the baseline before the measurement pass: a broken file must
+  // fail fast (exit 2) instead of after minutes of simulation.
+  std::optional<Baseline> baseline;
+  if (!check_path.empty()) {
+    baseline = load_baseline(check_path);
+    if (!baseline) return 2;
+  }
+
   Report report;
   report["multirhs_speedup"] = measure_multirhs();
   report["spmv_format_sweep"] = measure_format_sweep();
@@ -253,12 +304,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto baseline = read_json(check_path);
-  if (!baseline) {
-    std::cerr << "cannot read " << check_path << '\n';
-    return 2;
-  }
-  const int bad = check(report, *baseline, tolerance);
+  const int bad = check(report, baseline->report, tolerance);
   if (bad > 0) {
     std::cerr << bad << " metric(s) drifted from " << check_path << '\n';
     return 1;

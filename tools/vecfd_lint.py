@@ -1,0 +1,792 @@
+#!/usr/bin/env python3
+"""vecfd-lint — static checker for this repo's measurement/threading contracts.
+
+Every hard bug in PRs 2-5 was a violated *implicit* contract, found by hand
+after the fact.  This tool encodes those contracts as machine-checked rules
+(see DESIGN.md §7 for the rule-by-rule rationale and the historical bug each
+one fences):
+
+  measured-alloc        no allocation churn of measured buffers inside a
+                        measurement region (the PR 3 canonical-line aliasing
+                        bug class)
+  raw-thread            no std::thread / std::mutex / lock types outside
+                        core/parallel.h + core/thread_annotations.h (keeps
+                        -Wthread-safety's annotated surface exhaustive)
+  solve-report-history  every function returning SolveReport funnels every
+                        exit through solver::checked(...) (the PR 4
+                        history.size() == iterations + 1 invariant)
+  csv-phase-literal     no hard-coded per-phase column names ("ph9_...") in
+                        src/ or tools/ — CSV schemas derive columns from
+                        miniapp::kNumInstrumentedPhases (the PR 2 desync)
+  counter-aggregation   every sim::Counters field appears in operator+=,
+                        operator-= and the counter-conservation test (a new
+                        counter that skips one silently corrupts per-phase
+                        deltas or dodges verification — the PR 5 lesson)
+
+Engines: with the libclang python bindings installed (`python3-clang`),
+function boundaries/signatures come from a real clang parse (--engine
+libclang or auto); otherwise a built-in C++ lexer provides them (--engine
+lex, always available).  Both engines feed the same rule implementations
+and agree on the fixture suite under tests/lint/.
+
+Usage:
+  vecfd_lint.py [--repo-root DIR] [--engine auto|lex|libclang] [PATH...]
+  vecfd_lint.py --self-test          # run the fixture suite
+  vecfd_lint.py --list-rules
+
+With no PATHs, scans src/ tools/ bench/ under the repo root.  Exit codes
+follow the vecfd-run contract: 0 clean, 1 findings, 2 usage/internal error.
+
+Suppressions (every suppression carries a justification):
+  * inline, on the offending line or the line above:
+      // vecfd-lint: allow(rule-id) <justification>
+  * repo-wide, one per line in .vecfd-lint-suppressions at the repo root:
+      rule-id  path/glob  <justification>
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# shared lexing: comment/string stripping with positions preserved
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StringLiteral:
+    line: int
+    text: str
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, '/'-separated
+    raw: str
+    stripped: str  # comments and literal *contents* blanked, layout kept
+    strings: list  # list[StringLiteral]
+    raw_lines: list  # list[str]
+
+
+def lex_source(path: str, raw: str) -> SourceFile:
+    """Blank comments and string/char literal contents (keeping newlines so
+    offsets and line numbers survive), recording string literals for rules
+    that inspect them."""
+    out = []
+    strings = []
+    i, n = 0, len(raw)
+    line = 1
+    mode = "code"  # code | line_comment | block_comment | string | char
+    literal = []
+
+    def blank(ch):
+        out.append("\n" if ch == "\n" else " ")
+
+    while i < n:
+        ch = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if ch == "/" and nxt == "/":
+                mode = "line_comment"
+                blank(ch)
+            elif ch == "/" and nxt == "*":
+                mode = "block_comment"
+                blank(ch)
+            elif ch == '"':
+                mode = "string"
+                literal = []
+                out.append('"')
+            elif ch == "'":
+                mode = "char"
+                out.append("'")
+            else:
+                out.append(ch)
+        elif mode == "line_comment":
+            if ch == "\n":
+                mode = "code"
+            blank(ch)
+        elif mode == "block_comment":
+            if ch == "*" and nxt == "/":
+                blank(ch)
+                blank(nxt)
+                i += 2
+                line += raw[i - 2 : i].count("\n")
+                mode = "code"
+                continue
+            blank(ch)
+        elif mode == "string":
+            if ch == "\\" and i + 1 < n:
+                literal.append(raw[i : i + 2])
+                blank(ch)
+                blank(nxt)
+                i += 2
+                line += raw[i - 2 : i].count("\n")
+                continue
+            if ch == '"':
+                strings.append(StringLiteral(line, "".join(literal)))
+                out.append('"')
+                mode = "code"
+            else:
+                literal.append(ch)
+                blank(ch)
+        elif mode == "char":
+            if ch == "\\" and i + 1 < n:
+                blank(ch)
+                blank(nxt)
+                i += 2
+                line += raw[i - 2 : i].count("\n")
+                continue
+            if ch == "'":
+                out.append("'")
+                mode = "code"
+            else:
+                blank(ch)
+        if ch == "\n":
+            line += 1
+        i += 1
+
+    return SourceFile(
+        path=path,
+        raw=raw,
+        stripped="".join(out),
+        strings=strings,
+        raw_lines=raw.splitlines(),
+    )
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# function extraction (lex engine + optional libclang engine)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    ret: str  # return-type text ('' when unknown)
+    params: str  # parameter-list text
+    body_start: int  # offset of the opening '{' in the stripped text
+    body_end: int  # offset one past the closing '}'
+    line: int
+
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "do",
+    "else", "new", "delete", "throw", "case", "default", "alignof",
+    "static_assert", "decltype",
+}
+
+# A function head: return-type tokens, a name, a parameter list, optional
+# specifiers, then the body's '{'.  The return type must end in a
+# separator ([\s&*>]) so a bare call statement `foo(args) {` cannot be
+# split into ret='f' name='oo'.
+_FUNC_RE = re.compile(
+    r"(?P<ret>[A-Za-z_][\w:<>,&*\s\[\]]*?[\s&*>])\s*"
+    r"(?P<name>~?[A-Za-z_]\w*)\s*"
+    r"\((?P<params>[^;{}]*?)\)\s*"
+    r"(?P<spec>(?:const|noexcept|override|final|mutable|->\s*[\w:<>&*\s]+"
+    r"|VECFD_\w+(?:\([^)]*\))?|\s)*)"
+    r"\{"
+)
+
+
+def match_braces(text: str, open_idx: int) -> int:
+    """Offset one past the brace matching text[open_idx] (which is '{')."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def find_functions_lex(src: SourceFile) -> list:
+    funcs = []
+    for m in _FUNC_RE.finditer(src.stripped):
+        name = m.group("name").lstrip("~")
+        if name in _CONTROL_KEYWORDS:
+            continue
+        body_start = m.end() - 1
+        funcs.append(
+            FunctionDef(
+                name=name,
+                ret=" ".join(m.group("ret").split()),
+                params=" ".join(m.group("params").split()),
+                body_start=body_start,
+                body_end=match_braces(src.stripped, body_start),
+                line=line_of(src.stripped, m.start("name")),
+            )
+        )
+    return funcs
+
+
+def _libclang_index():
+    import clang.cindex  # noqa: F401  (ImportError → caller falls back)
+
+    return clang.cindex.Index.create()
+
+
+def find_functions_libclang(src: SourceFile, repo_root: str) -> list:
+    """Function extents from a real clang parse.  Any failure (missing
+    bindings, unloadable library, parse wreckage) falls back to the lexer:
+    the rules only need extents + signatures, which both engines provide."""
+    import clang.cindex as ci
+
+    index = _libclang_index()
+    tu = index.parse(
+        src.path,
+        args=["-std=c++20", "-x", "c++", "-I", os.path.join(repo_root, "src")],
+        unsaved_files=[(src.path, src.raw)],
+        options=ci.TranslationUnit.PARSE_INCOMPLETE,
+    )
+    # Offsets from clang refer to the raw text; the stripped text has
+    # identical layout (stripping is length-preserving), so they transfer.
+    kinds = {
+        ci.CursorKind.FUNCTION_DECL,
+        ci.CursorKind.CXX_METHOD,
+        ci.CursorKind.CONSTRUCTOR,
+        ci.CursorKind.DESTRUCTOR,
+        ci.CursorKind.FUNCTION_TEMPLATE,
+    }
+    funcs = []
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            if (
+                child.kind in kinds
+                and child.is_definition()
+                and child.location.file is not None
+                and child.location.file.name == src.path
+            ):
+                ext = child.extent
+                start, end = ext.start.offset, ext.end.offset
+                body = src.stripped.find("{", start, end)
+                if body < 0:
+                    continue
+                params = ", ".join(
+                    a.type.spelling + " " + (a.spelling or "")
+                    for a in child.get_arguments()
+                )
+                funcs.append(
+                    FunctionDef(
+                        name=child.spelling,
+                        ret=child.result_type.spelling,
+                        params=params,
+                        body_start=body,
+                        body_end=match_braces(src.stripped, body),
+                        line=child.location.line,
+                    )
+                )
+            visit(child)
+
+    visit(tu.cursor)
+    return funcs
+
+
+def find_functions(src: SourceFile, engine: str, repo_root: str) -> list:
+    if engine in ("auto", "libclang"):
+        try:
+            return find_functions_libclang(src, repo_root)
+        except Exception as e:  # noqa: BLE001 — any failure → lexer
+            if engine == "libclang":
+                print(
+                    f"vecfd-lint: libclang engine unavailable ({e}); "
+                    "falling back to lex",
+                    file=sys.stderr,
+                )
+    return find_functions_lex(src)
+
+
+# --------------------------------------------------------------------------
+# findings and suppressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+_INLINE_ALLOW_RE = re.compile(r"vecfd-lint:\s*allow\(([\w\-,\s]+)\)\s*(\S.*)?")
+
+
+def inline_suppressed(src: SourceFile, finding: Finding) -> bool:
+    """`// vecfd-lint: allow(rule) why` on the finding's line or the line
+    above.  A marker with no justification text does NOT suppress."""
+    for lineno in (finding.line, finding.line - 1):
+        if 1 <= lineno <= len(src.raw_lines):
+            m = _INLINE_ALLOW_RE.search(src.raw_lines[lineno - 1])
+            if m and m.group(2):
+                rules = [r.strip() for r in m.group(1).split(",")]
+                if finding.rule in rules:
+                    return True
+    return False
+
+
+@dataclass
+class SuppressionFile:
+    entries: list = field(default_factory=list)  # (rule, glob, lineno)
+    used: set = field(default_factory=set)
+
+    @staticmethod
+    def load(path: str) -> "SuppressionFile":
+        sup = SuppressionFile()
+        if not os.path.exists(path):
+            return sup
+        with open(path, encoding="utf-8") as f:
+            for lineno, raw_line in enumerate(f, 1):
+                s = raw_line.strip()
+                if not s or s.startswith("#"):
+                    continue
+                parts = s.split(None, 2)
+                if len(parts) < 3:
+                    raise SystemExit(
+                        f"{path}:{lineno}: suppression needs "
+                        "'rule-id path-glob justification'"
+                    )
+                sup.entries.append((parts[0], parts[1], lineno))
+        return sup
+
+    def matches(self, finding: Finding) -> bool:
+        hit = False
+        for rule, glob, lineno in self.entries:
+            if rule == finding.rule and fnmatch.fnmatch(finding.path, glob):
+                self.used.add(lineno)
+                hit = True
+        return hit
+
+
+# --------------------------------------------------------------------------
+# rules
+# --------------------------------------------------------------------------
+
+RULES = {}
+
+
+def rule(rule_id, doc):
+    def deco(fn):
+        RULES[rule_id] = (fn, doc)
+        fn.rule_id = rule_id
+        return fn
+
+    return deco
+
+
+_VPU_PARAM_RE = re.compile(r"(?:sim\s*::\s*)?Vpu\s*[&*]\s*(\w+)")
+_ALLOC_CHURN_RE = re.compile(
+    r"(?P<decl>\bstd\s*::\s*vector\s*<[^;()]{0,80}>\s+\w+\s*[;({=])"
+    r"|(?P<free>\.\s*(?:resize|shrink_to_fit)\s*\()"
+    r"|(?P<del>\bdelete\b)"
+)
+
+
+@rule(
+    "measured-alloc",
+    "inside a function taking a Vpu&, no local std::vector declaration, "
+    ".resize()/.shrink_to_fit() or delete after the first use of the Vpu — "
+    "freed host lines let later allocations re-alias canonical cache lines "
+    "(PR 3 bug class); hoist workspaces out of the measured region",
+)
+def rule_measured_alloc(src: SourceFile, funcs: list) -> list:
+    findings = []
+    for fn in funcs:
+        pm = _VPU_PARAM_RE.search(fn.params)
+        if not pm:
+            continue
+        vpu = pm.group(1) or "vpu"
+        body = src.stripped[fn.body_start : fn.body_end]
+        first_use = re.search(rf"\b{re.escape(vpu)}\b", body)
+        if not first_use:
+            continue
+        for m in _ALLOC_CHURN_RE.finditer(body, first_use.start()):
+            if m.group("decl") and "&" in m.group("decl"):
+                continue  # reference binding, not a new buffer
+            what = (m.group("decl") or m.group("free") or m.group("del")).strip()
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.stripped, fn.body_start + m.start()),
+                    "measured-alloc",
+                    f"allocation churn `{what}` inside the measurement "
+                    f"region of {fn.name}() (after first use of Vpu "
+                    f"`{vpu}`); hoist the buffer into a reusable workspace",
+                )
+            )
+    return findings
+
+
+_RAW_THREAD_RE = re.compile(
+    r"\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|shared_mutex|"
+    r"timed_mutex|recursive_timed_mutex|condition_variable(?:_any)?|"
+    r"scoped_lock|lock_guard|unique_lock|shared_lock|async|promise|"
+    r"packaged_task)\b"
+)
+_RAW_THREAD_ALLOWED = ("src/core/parallel.h", "src/core/thread_annotations.h")
+
+
+@rule(
+    "raw-thread",
+    "std::thread/std::mutex/lock primitives only in core/parallel.h and "
+    "core/thread_annotations.h — all fan-out goes through "
+    "parallel_for_index and all locking through the annotated core::Mutex, "
+    "so clang -Wthread-safety sees every lock in the process",
+)
+def rule_raw_thread(src: SourceFile, funcs: list) -> list:
+    if src.path in _RAW_THREAD_ALLOWED:
+        return []
+    return [
+        Finding(
+            src.path,
+            line_of(src.stripped, m.start()),
+            "raw-thread",
+            f"raw std::{m.group(1)} outside core/parallel.h; use "
+            "core::parallel_for_index / core::Mutex (thread_annotations.h) "
+            "so the threading surface stays annotated and TSan-covered",
+        )
+        for m in _RAW_THREAD_RE.finditer(src.stripped)
+    ]
+
+
+_REPORT_RET_RE = re.compile(
+    r"^(?:static\s+)?(?:solver\s*::\s*)?"
+    r"(?:std\s*::\s*vector\s*<\s*(?:solver\s*::\s*)?SolveReport\s*>|"
+    r"SolveReport)$"
+)
+_REPORT_DECL_RE = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*vector\s*<\s*(?:solver\s*::\s*)?SolveReport\s*>"
+    r"|(?:solver\s*::\s*)?SolveReport)\s+(\w+)\s*[;({=]"
+)
+_RETURN_ID_RE = re.compile(r"\breturn\s+(\w+)\s*;")
+_RETURN_BRACE_RE = re.compile(r"\breturn\s+(?:solver\s*::\s*)?SolveReport\s*\{")
+
+
+@rule(
+    "solve-report-history",
+    "every function returning SolveReport (or a vector of them) must route "
+    "each return through solver::checked(...), the always-on gate for the "
+    "history.size() == iterations + 1 contract (PR 4 invariant)",
+)
+def rule_solve_report_history(src: SourceFile, funcs: list) -> list:
+    findings = []
+    for fn in funcs:
+        if not _REPORT_RET_RE.match(fn.ret.strip()):
+            continue
+        body = src.stripped[fn.body_start : fn.body_end]
+        report_vars = {m.group(1) for m in _REPORT_DECL_RE.finditer(body)}
+        for m in _RETURN_ID_RE.finditer(body):
+            if m.group(1) in report_vars:
+                findings.append(
+                    Finding(
+                        src.path,
+                        line_of(src.stripped, fn.body_start + m.start()),
+                        "solve-report-history",
+                        f"{fn.name}() returns `{m.group(1)}` without "
+                        "solver::checked(...); every SolveReport exit must "
+                        "pass the history-invariant gate (krylov.h)",
+                    )
+                )
+        for m in _RETURN_BRACE_RE.finditer(body):
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.stripped, fn.body_start + m.start()),
+                    "solve-report-history",
+                    f"{fn.name}() returns a SolveReport literal without "
+                    "solver::checked(...)",
+                )
+            )
+    return findings
+
+
+_PH_LITERAL_RE = re.compile(r"ph\d")
+
+
+@rule(
+    "csv-phase-literal",
+    'no hard-coded per-phase column name ("ph9_cycles", ...) in string '
+    "literals — both CSV schemas derive their phase columns from "
+    "miniapp::kNumInstrumentedPhases (the PR 2 header/row desync).  "
+    "bench/'s human-readable display tables are exempted repo-wide in "
+    ".vecfd-lint-suppressions",
+)
+def rule_csv_phase_literal(src: SourceFile, funcs: list) -> list:
+    return [
+        Finding(
+            src.path,
+            s.line,
+            "csv-phase-literal",
+            f'string literal "{s.text}" hard-codes a phase column; derive '
+            "phase columns from miniapp::kNumInstrumentedPhases",
+        )
+        for s in src.strings
+        if _PH_LITERAL_RE.search(s.text)
+    ]
+
+
+_COUNTER_FIELD_RE = re.compile(
+    r"^\s*(?:std\s*::\s*)?(?:uint64_t|double)\s+(\w+)\s*=", re.M
+)
+
+
+def _member_section(text: str, signature: str) -> str:
+    """Body of the *definition* of `signature` (skipping declarations: the
+    occurrence must be followed by a parameter list and then '{', not ';')."""
+    pos = 0
+    while True:
+        i = text.find(signature, pos)
+        if i < 0:
+            return ""
+        pos = i + len(signature)
+        after = text[pos:].lstrip()
+        if after.startswith("{"):  # struct/class body: no parameter list
+            open_idx = text.index("{", pos)
+            return text[open_idx : match_braces(text, open_idx)]
+        paren = text.find("(", pos)
+        if paren < 0:
+            return ""
+        depth, j = 0, paren
+        while j < len(text):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        tail = text[j + 1 :].lstrip()
+        if tail.startswith("{"):
+            open_idx = text.index("{", j + 1)
+            return text[open_idx : match_braces(text, open_idx)]
+
+
+@rule(
+    "counter-aggregation",
+    "every data member of sim::Counters must appear in operator+=, "
+    "operator-= and the counter-conservation test — a counter missing from "
+    "one silently corrupts per-phase deltas or dodges the Σphases == total "
+    "check (the contract PR 4/5 enforced by hand)",
+)
+def rule_counter_aggregation(repo_root: str) -> list:
+    counters_path = os.path.join(repo_root, "src", "sim", "counters.h")
+    conservation_path = os.path.join(
+        repo_root, "tests", "test_time_loop_conservation.cpp"
+    )
+    if not os.path.exists(counters_path):
+        return []
+    raw = open(counters_path, encoding="utf-8").read()
+    src = lex_source("src/sim/counters.h", raw)
+    struct_body = _member_section(src.stripped, "struct Counters")
+    if not struct_body:
+        return []
+    # Data members stop where the derived-totals accessors begin; the field
+    # pattern (type name = default) only matches members anyway.
+    fields = _COUNTER_FIELD_RE.findall(struct_body)
+    plus = _member_section(src.stripped, "operator+=")
+    minus = _member_section(src.stripped, "operator-=")
+    conservation = ""
+    if os.path.exists(conservation_path):
+        # Strip comments: a field mentioned only in prose is not covered.
+        conservation = lex_source(
+            "tests/test_time_loop_conservation.cpp",
+            open(conservation_path, encoding="utf-8").read(),
+        ).stripped
+    findings = []
+    for name in fields:
+        missing = []
+        if not re.search(rf"\b{name}\b", plus):
+            missing.append("Counters::operator+=")
+        if not re.search(rf"\b{name}\b", minus):
+            missing.append("Counters::operator-=")
+        if not re.search(rf"\b{name}\b", conservation):
+            missing.append("tests/test_time_loop_conservation.cpp")
+        if missing:
+            decl = re.search(rf"^.*\b{name}\b.*$", src.stripped, re.M)
+            findings.append(
+                Finding(
+                    "src/sim/counters.h",
+                    line_of(src.stripped, decl.start()) if decl else 1,
+                    "counter-aggregation",
+                    f"Counters::{name} missing from: " + ", ".join(missing),
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+_SCAN_EXTS = (".h", ".cpp", ".cc", ".hpp")
+_FILE_RULES = [
+    rule_measured_alloc,
+    rule_raw_thread,
+    rule_solve_report_history,
+    rule_csv_phase_literal,
+]
+
+
+def scan_file(abspath: str, relpath: str, engine: str, repo_root: str) -> list:
+    raw = open(abspath, encoding="utf-8", errors="replace").read()
+    src = lex_source(relpath.replace(os.sep, "/"), raw)
+    funcs = find_functions(src, engine, repo_root)
+    findings = []
+    for fn_rule in _FILE_RULES:
+        findings.extend(f for f in fn_rule(src, funcs) if not inline_suppressed(src, f))
+    return findings
+
+
+def scan_tree(repo_root: str, paths: list, engine: str) -> list:
+    findings = []
+    for p in paths:
+        absp = p if os.path.isabs(p) else os.path.join(repo_root, p)
+        if os.path.isfile(absp):
+            rel = os.path.relpath(absp, repo_root)
+            findings.extend(scan_file(absp, rel, engine, repo_root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(absp):
+            for name in sorted(filenames):
+                if not name.endswith(_SCAN_EXTS):
+                    continue
+                fp = os.path.join(dirpath, name)
+                rel = os.path.relpath(fp, repo_root)
+                findings.extend(scan_file(fp, rel, engine, repo_root))
+    findings.extend(rule_counter_aggregation(repo_root))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# fixture self-test: every fixture file declares its expected findings with
+# `EXPECT-FINDING(rule-id)` comment markers on the offending lines; clean
+# fixtures carry none and must produce none.
+# --------------------------------------------------------------------------
+
+_EXPECT_RE = re.compile(r"EXPECT-FINDING\(([\w\-]+)\)")
+
+
+def self_test(repo_root: str, engine: str) -> int:
+    fixture_dir = os.path.join(repo_root, "tests", "lint")
+    if not os.path.isdir(fixture_dir):
+        print(f"vecfd-lint: no fixture dir at {fixture_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    cases = 0
+
+    def check(name, got, want):
+        nonlocal failures, cases
+        cases += 1
+        got, want = sorted(got), sorted(want)
+        if got != want:
+            failures += 1
+            print(f"FAIL {name}")
+            for g in got:
+                marker = "unexpected" if g not in want else "ok"
+                print(f"  got  ({marker}): {g}")
+            for w in want:
+                if w not in got:
+                    print(f"  missing      : {w}")
+        else:
+            print(f"ok   {name} ({len(want)} expected finding(s))")
+
+    for name in sorted(os.listdir(fixture_dir)):
+        path = os.path.join(fixture_dir, name)
+        if os.path.isfile(path) and name.endswith(_SCAN_EXTS):
+            raw = open(path, encoding="utf-8").read()
+            want = [
+                (lineno, m.group(1))
+                for lineno, text in enumerate(raw.splitlines(), 1)
+                for m in _EXPECT_RE.finditer(text)
+            ]
+            # Scanned under their bare name: fixtures exercise every rule,
+            # including ones whose tree scope excludes tests/.
+            got = [
+                (f.line, f.rule)
+                for f in scan_file(path, name, engine, repo_root)
+            ]
+            check(name, got, want)
+        elif os.path.isdir(path) and os.path.isdir(
+            os.path.join(path, "src")
+        ):
+            # counter-aggregation fixtures: a mini repo root
+            counters = os.path.join(path, "src", "sim", "counters.h")
+            raw = open(counters, encoding="utf-8").read()
+            want = [
+                (lineno, m.group(1))
+                for lineno, text in enumerate(raw.splitlines(), 1)
+                for m in _EXPECT_RE.finditer(text)
+            ]
+            got = [(f.line, f.rule) for f in rule_counter_aggregation(path)]
+            check(name + "/", got, want)
+
+    print(f"{cases} fixture case(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="vecfd-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("paths", nargs="*", help="files/dirs (default: src tools bench)")
+    ap.add_argument("--repo-root", default=".", help="repository root")
+    ap.add_argument(
+        "--engine", choices=("auto", "lex", "libclang"), default="auto",
+        help="function-boundary engine (auto: libclang if importable)",
+    )
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the tests/lint fixture suite")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (_fn, doc) in sorted(RULES.items()):
+            print(f"{rule_id}\n    {doc}\n")
+        return 0
+
+    repo_root = os.path.abspath(args.repo_root)
+    if args.self_test:
+        return self_test(repo_root, args.engine)
+
+    paths = args.paths or ["src", "tools", "bench"]
+    suppressions = SuppressionFile.load(
+        os.path.join(repo_root, ".vecfd-lint-suppressions")
+    )
+    findings = [
+        f for f in scan_tree(repo_root, paths, args.engine)
+        if not suppressions.matches(f)
+    ]
+    for f in findings:
+        print(f)
+    for rule_id, glob, lineno in suppressions.entries:
+        if lineno not in suppressions.used:
+            print(
+                f"vecfd-lint: note: unused suppression at "
+                f".vecfd-lint-suppressions:{lineno} ({rule_id} {glob})",
+                file=sys.stderr,
+            )
+    if findings:
+        print(f"vecfd-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("vecfd-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
