@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "sim/counters.h"
 #include "solver/vkernels.h"
 
 namespace vecfd::core {
@@ -18,6 +19,24 @@ class ScopedPrecision {
   std::ostream& os_;
   std::streamsize saved_;
 };
+/// Counter columns derive from the sim::Counters registry: header and row
+/// writers iterate the same VECFD_COUNTERS entries (filtered by schema
+/// tag), so registering a CSV-tagged counter wires both at once and a
+/// hand-kept column list cannot drift (vecfd-lint rule `counter-registry`).
+template <class Filter>
+void write_counter_columns(std::ostream& os, Filter in_schema) {
+  sim::Counters::visit_fields([&](const sim::CounterInfo& info) {
+    if (in_schema(info.csv)) os << ',' << info.csv_column;
+  });
+}
+
+template <class Filter>
+void write_counter_values(std::ostream& os, const sim::Counters& c,
+                          Filter in_schema) {
+  c.visit([&](const sim::CounterInfo& info, const auto& v) {
+    if (in_schema(info.csv)) os << ',' << v;
+  });
+}
 }  // namespace
 
 // Header and row iterate the SAME phase-count constant: deriving both from
@@ -30,8 +49,8 @@ class ScopedPrecision {
 // function.
 void write_csv_header(std::ostream& os) {
   os << "machine,opt,scheme,format,vector_size,effective_strip,total_cycles,"
-        "total_instrs,vector_instrs,mv,av,vcpi,avl,ev,flops,l1_misses,"
-        "l2_misses,gather_lines,coalesced_lanes,pad_lanes";
+        "total_instrs,vector_instrs,mv,av,vcpi,avl,ev";
+  write_counter_columns(os, sim::in_sweep_csv);
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
@@ -46,10 +65,9 @@ void write_measurement_row(std::ostream& os, const Measurement& m) {
      << solver::solve_effective_strip(m.app.vector_size, m.machine) << ','
      << m.total_cycles << ',' << m.total.total_instrs() << ','
      << m.total.vector_instrs() << ',' << m.overall.mv << ',' << m.overall.av
-     << ',' << m.overall.vcpi << ',' << m.overall.avl << ',' << m.overall.ev
-     << ',' << m.total.flops << ',' << m.total.l1_misses << ','
-     << m.total.l2_misses << ',' << m.total.gather_lines_touched << ','
-     << m.total.coalesced_lanes << ',' << m.total.pad_lanes;
+     << ',' << m.overall.vcpi << ',' << m.overall.avl << ','
+     << m.overall.ev;
+  write_counter_values(os, m.total, sim::in_sweep_csv);
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ',' << m.phase_cycles(p) << ',' << m.phase_metrics[p].mv << ','
        << m.phase_metrics[p].avl;
@@ -64,8 +82,8 @@ void write_csv(std::ostream& os, std::span<const Measurement> ms) {
 
 void write_campaign_csv_header(std::ostream& os) {
   os << "scenario,machine,opt,format,rcm,vector_size,effective_strip,steps,"
-        "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev,"
-        "gather_lines,coalesced_lanes,pad_lanes";
+        "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev";
+  write_counter_columns(os, sim::in_campaign_csv);
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
@@ -81,9 +99,8 @@ void write_campaign_row(std::ostream& os, const CampaignRun& r) {
      << ',' << r.point.steps << ',' << r.total_cycles << ','
      << r.loop.total.total_instrs() << ',' << r.loop.total.vector_instrs()
      << ',' << r.overall.mv << ',' << r.overall.av << ',' << r.overall.vcpi
-     << ',' << r.overall.avl << ',' << r.overall.ev << ','
-     << r.loop.total.gather_lines_touched << ','
-     << r.loop.total.coalesced_lanes << ',' << r.loop.total.pad_lanes;
+     << ',' << r.overall.avl << ',' << r.overall.ev;
+  write_counter_values(os, r.loop.total, sim::in_campaign_csv);
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     const auto& pm = r.phase_metrics[static_cast<std::size_t>(p)];
     os << ',' << r.phase_cycles(p) << ',' << pm.mv << ',' << pm.avl;

@@ -212,6 +212,7 @@ void vspmv(sim::Vpu& vpu, const SellMatrix& a, std::span<const double> x,
     const int nr = a.slice_rows(s);
     const int base = a.slice_row_base(s);
     for (int i = 0; i < nr;) {
+      // vecfd-lint: allow(strip-mine-contract) slice-local strip loop: SELL
       const int vl = vpu.set_vl(std::min(eff, nr - i));
       sim::Vec acc = vpu.vsplat(0.0);
       for (int j = 0; j < a.slice_width(s); ++j) {
@@ -570,6 +571,7 @@ void vspmv_multi(sim::Vpu& vpu, const SellMatrix& a,
     const int nr = a.slice_rows(s);
     const int base = a.slice_row_base(s);
     for (int i = 0; i < nr;) {
+      // vecfd-lint: allow(strip-mine-contract) slice-local strip loop: SELL
       const int vl = vpu.set_vl(std::min(eff, nr - i));
       for (int d = 0; d < k; ++d) {
         if (col_active(active, d)) {

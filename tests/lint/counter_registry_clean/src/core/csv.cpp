@@ -1,0 +1,10 @@
+// vecfd-lint fixture: a registry consumer that iterates the registry
+// instead of naming counters — columns and values both derive from
+// Counters::visit, so they cannot drift.  Not compiled.
+#include <ostream>
+
+#include "sim/counters.h"
+
+void write_row(std::ostream& os, const vecfd::sim::Counters& c) {
+  c.visit([&](const char* col, const auto& v) { os << ',' << v; (void)col; });
+}

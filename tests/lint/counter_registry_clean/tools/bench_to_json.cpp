@@ -1,0 +1,11 @@
+// vecfd-lint fixture: the JSON emitter iterates the registry too.  Not
+// compiled.
+#include <ostream>
+
+#include "sim/counters.h"
+
+void emit(std::ostream& os, const vecfd::sim::Counters& c) {
+  c.visit([&](const char* col, const auto& v) {
+    os << '"' << col << "\": " << v << '\n';
+  });
+}

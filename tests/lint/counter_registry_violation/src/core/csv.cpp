@@ -1,0 +1,13 @@
+// vecfd-lint fixture: a consumer with a hand-kept column list.  It names
+// cycles and flops but NOT hidden_from_csv — the registry entry exists yet
+// one consumer silently drops it.  Both direct reads are findings: the rule
+// makes a hidden field impossible by banning the hand list itself.  Not
+// compiled.
+#include <ostream>
+
+#include "sim/counters.h"
+
+void write_row(std::ostream& os, const vecfd::sim::Counters& c) {
+  os << c.cycles;         // EXPECT-FINDING(counter-registry)
+  os << ',' << c.flops;   // EXPECT-FINDING(counter-registry)
+}

@@ -1,0 +1,12 @@
+// vecfd-lint fixture: the conservation test goes through the visitor but
+// ALSO asserts one counter by name — the moment that counter is renamed or
+// split, the assert silently pins the wrong thing.  Not compiled.
+#include "sim/counters.h"
+
+void check(const vecfd::sim::Counters& total,
+           const vecfd::sim::Counters& sum) {
+  vecfd::sim::Counters delta = total;
+  delta -= sum;
+  delta.visit([](const char*, const auto& v) { (void)v; });
+  (void)total.hidden_from_csv;  // EXPECT-FINDING(counter-registry)
+}

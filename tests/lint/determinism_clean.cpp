@@ -1,0 +1,30 @@
+// vecfd-lint fixture: determinism-audit COMPLIANT.  Parallel callbacks
+// write per-slot results (reduced deterministically after the join), local
+// accumulators declared inside the callback are fine, and ordered
+// containers feed the output layer.  Not compiled.
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace core {
+template <class Fn>
+void parallel_for_index(std::size_t count, int jobs, Fn&& fn);
+}
+
+double sum_parallel(const std::vector<double>& data, int jobs) {
+  std::vector<double> slot(data.size());
+  core::parallel_for_index(data.size(), jobs, [&](std::size_t i) {
+    double local = 0.0;  // per-iteration accumulator: declared inside
+    local += data[i] * data[i];
+    slot[i] = local;  // per-slot write: deterministic regardless of schedule
+  });
+  double total = 0.0;
+  for (double v : slot) total += v;  // serial reduction after the join
+  return total;
+}
+
+void write_report(std::ostream& os, const std::map<std::string, double>& m) {
+  for (const auto& [k, v] : m) os << k << ',' << v << '\n';
+}

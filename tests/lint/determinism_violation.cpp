@@ -1,0 +1,26 @@
+// vecfd-lint fixture: determinism-audit VIOLATIONS — cross-iteration FP
+// accumulation inside a parallel_for_index callback, and unordered-map
+// iteration feeding report output.  Not compiled.
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace core {
+template <class Fn>
+void parallel_for_index(std::size_t count, int jobs, Fn&& fn);
+}
+
+double sum_parallel(const std::vector<double>& data, int jobs) {
+  double total = 0.0;
+  core::parallel_for_index(data.size(), jobs, [&](std::size_t i) {
+    total += data[i] * data[i];  // EXPECT-FINDING(determinism-audit)
+  });
+  return total;
+}
+
+void write_report(std::ostream& os,
+                  const std::unordered_map<std::string, double>& m) {  // EXPECT-FINDING(determinism-audit)
+  for (const auto& [k, v] : m) os << k << ',' << v << '\n';
+}

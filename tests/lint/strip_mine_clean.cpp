@@ -1,0 +1,47 @@
+// vecfd-lint fixture: strip-mine-contract COMPLIANT.  Vector work is
+// strip-mined through for_strips (slab loops inside its lambda run at a
+// granted vl and are fine); scalar s-prefixed ops may live in raw loops;
+// the for_strips definition itself is exempt by name.  Not compiled.
+#include <algorithm>
+
+namespace sim {
+struct Vec {};
+struct Vpu {
+  int set_vl(int n);
+  Vec vload(const double* p);
+  void vstore(double* p, Vec v);
+  Vec vadd(Vec a, Vec b);
+  void sload(int n);
+  void sarith(int n);
+};
+}  // namespace sim
+
+// The canonical strip-miner: the ONLY place a raw loop may drive set_vl.
+template <class Body>
+void for_strips(sim::Vpu& vpu, int n, int strip, Body&& body) {
+  for (int i = 0; i < n;) {
+    const int vl = vpu.set_vl(std::min(strip, n - i));
+    vpu.sarith(2);
+    body(i, vl);
+    i += vl;
+  }
+}
+
+void axpy_kernel(sim::Vpu& vpu, const double* x, double* y, int n) {
+  for_strips(vpu, n, 256, [&](int i, int vl) {
+    // slab loop inside the strip body: runs at the granted vl, fine
+    for (int j = 0; j < 2; ++j) {
+      const sim::Vec a = vpu.vload(x + i);
+      const sim::Vec b = vpu.vload(y + i);
+      vpu.vstore(y + i, vpu.vadd(a, b));
+    }
+  });
+}
+
+void scalar_tail(sim::Vpu& vpu, int n) {
+  // raw loops issuing only scalar (s-prefixed) ops are not strip-mining
+  for (int i = 0; i < n; ++i) {
+    vpu.sload(1);
+    vpu.sarith(1);
+  }
+}

@@ -1,0 +1,34 @@
+// vecfd-lint fixture: strip-mine-contract VIOLATIONS — hand-rolled strip
+// loops calling set_vl / issuing vector ops outside for_strips.  One
+// finding per function, anchored at the first offending call.  Not
+// compiled.
+#include <algorithm>
+
+namespace sim {
+struct Vec {};
+struct Vpu {
+  int set_vl(int n);
+  Vec vload(const double* p);
+  void vstore(double* p, Vec v);
+  Vec vfma(Vec a, Vec b, Vec c);
+};
+}  // namespace sim
+
+void hand_rolled_strips(sim::Vpu& vpu, const double* x, double* y, int n) {
+  for (int i = 0; i < n;) {
+    const int vl = vpu.set_vl(std::min(256, n - i));  // EXPECT-FINDING(strip-mine-contract)
+    const sim::Vec a = vpu.vload(x + i);
+    vpu.vstore(y + i, a);
+    i += vl;
+  }
+}
+
+void vector_issue_in_while(sim::Vpu& vpu, const double* x, double* y, int n) {
+  int i = 0;
+  while (i < n) {
+    const sim::Vec a = vpu.vload(x + i);  // EXPECT-FINDING(strip-mine-contract)
+    const sim::Vec b = vpu.vload(y + i);
+    vpu.vstore(y + i, vpu.vfma(a, b, a));
+    i += 8;
+  }
+}

@@ -10,13 +10,22 @@
 //     "benches": { "<bench>": { "<metric>": <number>, ... }, ... } }
 //
 // Modes:
-//   bench_to_json --out FILE     write the baseline (the PR workflow:
-//                                regenerate, review the diff, commit)
-//   bench_to_json --check FILE   re-measure and compare against FILE
-//                                within --tolerance (default 1e-6
-//                                relative); exit 1 on drift or missing
-//                                metrics — the CI guard that keeps
-//                                BENCH_PR5.json honest
+//   bench_to_json --out FILE          write the baseline (the PR workflow:
+//                                     regenerate, review the diff, commit)
+//   bench_to_json --check FILE        re-measure and compare against FILE
+//                                     within --tolerance (default 1e-6
+//                                     relative); exit 1 on drift or missing
+//                                     metrics — the CI guard that keeps
+//                                     BENCH_PR5.json honest
+//   bench_to_json --counters-out FILE dump every sim::Counters registry
+//                                     counter of a fixed tiny transient run
+//                                     ("vecfd-counters-v1").  Generated from
+//                                     the VECFD_COUNTERS X-macro via
+//                                     Counters::visit(), so a counter added
+//                                     to the registry lands here with no
+//                                     wiring — and a hand-kept metric list
+//                                     here is a vecfd-lint counter-registry
+//                                     finding.
 //
 // The simulation is deterministic, so drift beyond last-ulp accumulation
 // differences between compilers means a real perf change: regenerate the
@@ -34,7 +43,9 @@
 #include "bench_metrics.h"
 #include "fem/mesh.h"
 #include "miniapp/scenarios.h"
+#include "miniapp/time_loop.h"
 #include "platforms/platforms.h"
+#include "sim/counters.h"
 
 namespace {
 
@@ -111,9 +122,45 @@ Metrics measure_format_sweep() {
     m["ell_pad_fraction_" + tag] = ell.pad_fraction();
     m["sell_rcm_pad_fraction_" + tag] = sell_rcm.pad_fraction();
     m["sell_rcm_coalesced_lanes_" + tag] =
+        // vecfd-lint: allow(counter-registry) SolveStats field, not Counters
         static_cast<double>(sell_rcm.coalesced_lanes);
   }
   return m;
+}
+
+/// --counters-out: every registered counter of one fixed tiny transient
+/// run, emitted in registry order straight from Counters::visit().  The
+/// metric set IS the registry — there is no list here to forget to extend.
+int write_counter_totals(const std::string& path) {
+  miniapp::Scenario scen = miniapp::scenario_cavity();
+  scen.mesh = {.nx = 4, .ny = 4, .nz = 4};
+  const fem::Mesh mesh(scen.mesh);
+  miniapp::TimeLoopConfig cfg;
+  cfg.steps = 1;
+  cfg.vector_size = 64;
+  miniapp::TimeLoop loop(mesh, scen, cfg);
+  sim::Vpu vpu(platforms::riscv_vec());
+  const auto res = loop.run(vpu);
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << '\n';
+    return 2;
+  }
+  os << "{\n  \"schema\": \"vecfd-counters-v1\",\n"
+     << "  \"workload\": \"cavity 4x4x4, 1 step, vs=64, riscv-vec\",\n"
+     << "  \"counters\": {\n";
+  bool first = true;
+  res.total.visit([&](const sim::CounterInfo& info, const auto& v) {
+    if (!first) os << ",\n";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", static_cast<double>(v));
+    os << "    \"" << info.name << "\": " << buf;
+  });
+  os << "\n  }\n}\n";
+  std::cout << "wrote " << path << '\n';
+  return 0;
 }
 
 void write_json(std::ostream& os, const Report& report) {
@@ -243,6 +290,7 @@ int check(const Report& got, const Report& want, double tolerance) {
 int main(int argc, char** argv) {
   std::string out_path;
   std::string check_path;
+  std::string counters_path;
   double tolerance = 1e-6;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -263,6 +311,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       check_path = v;
+    } else if (a == "--counters-out") {
+      const char* v = next();
+      if (!v) {
+        std::cerr << "bench_to_json: --counters-out: missing value\n";
+        return 2;
+      }
+      counters_path = v;
     } else if (a == "--tolerance") {
       const char* v = next();
       if (!v) {
@@ -271,13 +326,21 @@ int main(int argc, char** argv) {
       }
       tolerance = std::strtod(v, nullptr);
     } else {
-      std::cerr << "usage: bench_to_json (--out FILE | --check FILE) "
-                   "[--tolerance REL]\n";
+      std::cerr << "usage: bench_to_json (--out FILE | --check FILE | "
+                   "--counters-out FILE) [--tolerance REL]\n";
       return a == "--help" || a == "-h" ? 0 : 2;
     }
   }
+  if (!counters_path.empty()) {
+    if (!out_path.empty() || !check_path.empty()) {
+      std::cerr << "bench_to_json: --counters-out excludes --out / --check\n";
+      return 2;
+    }
+    return write_counter_totals(counters_path);
+  }
   if (out_path.empty() == check_path.empty()) {
-    std::cerr << "bench_to_json: pass exactly one of --out / --check\n";
+    std::cerr << "bench_to_json: pass exactly one of --out / --check / "
+                 "--counters-out\n";
     return 2;
   }
 

@@ -18,10 +18,24 @@ one fences):
   csv-phase-literal     no hard-coded per-phase column names ("ph9_...") in
                         src/ or tools/ — CSV schemas derive columns from
                         miniapp::kNumInstrumentedPhases (the PR 2 desync)
-  counter-aggregation   every sim::Counters field appears in operator+=,
-                        operator-= and the counter-conservation test (a new
-                        counter that skips one silently corrupts per-phase
-                        deltas or dodges verification — the PR 5 lesson)
+  counter-registry      sim::Counters is an X-macro registry
+                        (VECFD_COUNTERS): fields are declared only through
+                        it, operator+=/operator-= expand it, and the
+                        registry consumers (core/csv.cpp, bench_to_json,
+                        the conservation test) never enumerate counters by
+                        hand — subsumes and strengthens PR 6's
+                        counter-aggregation rule: wiring drift is now
+                        structurally impossible instead of merely detected
+  strip-mine-contract   inside Vpu&-taking kernel functions, raw loops must
+                        not call set_vl or issue vector ops — strip-mining
+                        goes through the for_strips helper, whose tail strip
+                        carries the effective-AVL accounting (the PR 2
+                        tail-mask/AVL bug class)
+  determinism-audit     no order-sensitive FP accumulation across
+                        parallel_for_index iterations (per-slot results
+                        only) and no std::unordered_map/set in the
+                        CSV/report output layer — the two hazards that
+                        break the byte-identical serial/parallel guarantee
 
 Engines: with the libclang python bindings installed (`python3-clang`),
 function boundaries/signatures come from a real clang parse (--engine
@@ -41,7 +55,11 @@ Suppressions (every suppression carries a justification):
   * inline, on the offending line or the line above:
       // vecfd-lint: allow(rule-id) <justification>
   * repo-wide, one per line in .vecfd-lint-suppressions at the repo root:
-      rule-id  path/glob  <justification>
+      rule-id  path/glob  [expires=PR<N>]  <justification>
+    An `expires=PR<N>` field marks the entry for re-justification: once the
+    repo is past PR N (current PR inferred from CHANGES.md, override with
+    --current-pr), the entry still suppresses but vecfd-lint warns on
+    stderr that it is past due.
 """
 
 from __future__ import annotations
@@ -341,9 +359,20 @@ def inline_suppressed(src: SourceFile, finding: Finding) -> bool:
     return False
 
 
+_EXPIRES_RE = re.compile(r"^expires=PR(\d+)$")
+
+
+@dataclass
+class Suppression:
+    rule: str
+    glob: str
+    lineno: int
+    expires_pr: int | None = None  # still suppresses past due, but warns
+
+
 @dataclass
 class SuppressionFile:
-    entries: list = field(default_factory=list)  # (rule, glob, lineno)
+    entries: list = field(default_factory=list)  # list[Suppression]
     used: set = field(default_factory=set)
 
     @staticmethod
@@ -356,20 +385,28 @@ class SuppressionFile:
                 s = raw_line.strip()
                 if not s or s.startswith("#"):
                     continue
-                parts = s.split(None, 2)
+                parts = s.split(None, 3)
+                expires = None
+                if len(parts) >= 3:
+                    m = _EXPIRES_RE.match(parts[2])
+                    if m:
+                        expires = int(m.group(1))
+                        del parts[2]
                 if len(parts) < 3:
                     raise SystemExit(
-                        f"{path}:{lineno}: suppression needs "
-                        "'rule-id path-glob justification'"
+                        f"{path}:{lineno}: suppression needs 'rule-id "
+                        "path-glob [expires=PRn] justification'"
                     )
-                sup.entries.append((parts[0], parts[1], lineno))
+                sup.entries.append(
+                    Suppression(parts[0], parts[1], lineno, expires)
+                )
         return sup
 
     def matches(self, finding: Finding) -> bool:
         hit = False
-        for rule, glob, lineno in self.entries:
-            if rule == finding.rule and fnmatch.fnmatch(finding.path, glob):
-                self.used.add(lineno)
+        for e in self.entries:
+            if e.rule == finding.rule and fnmatch.fnmatch(finding.path, e.glob):
+                self.used.add(e.lineno)
                 hit = True
         return hit
 
@@ -544,6 +581,7 @@ def rule_csv_phase_literal(src: SourceFile, funcs: list) -> list:
 _COUNTER_FIELD_RE = re.compile(
     r"^\s*(?:std\s*::\s*)?(?:uint64_t|double)\s+(\w+)\s*=", re.M
 )
+_REGISTRY_ENTRY_RE = re.compile(r"^\s*X\(\s*(\w+)\s*,", re.M)
 
 
 def _member_section(text: str, signature: str) -> str:
@@ -577,54 +615,326 @@ def _member_section(text: str, signature: str) -> str:
             return text[open_idx : match_braces(text, open_idx)]
 
 
-@rule(
-    "counter-aggregation",
-    "every data member of sim::Counters must appear in operator+=, "
-    "operator-= and the counter-conservation test — a counter missing from "
-    "one silently corrupts per-phase deltas or dodges the Σphases == total "
-    "check (the contract PR 4/5 enforced by hand)",
+def _registry_block(stripped: str):
+    """(start, end) offsets of the `#define VECFD_COUNTERS(X)` macro body —
+    the define line plus every backslash-continued line — or None."""
+    m = re.search(r"#\s*define\s+VECFD_COUNTERS\s*\(", stripped)
+    if not m:
+        return None
+    end = m.start()
+    while True:
+        nl = stripped.find("\n", end)
+        if nl < 0:
+            return (m.start(), len(stripped))
+        line = stripped[end:nl]
+        if not line.rstrip().endswith("\\"):
+            return (m.start(), nl)
+        end = nl + 1
+
+
+def _mask_nested_braces(text: str) -> str:
+    """Blank everything inside brace pairs (member-function bodies inside a
+    struct body), keeping layout, so member-declaration regexes only see
+    the struct's own declaration lines."""
+    out = list(text)
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "{":
+            depth += 1
+            continue
+        if ch == "}":
+            depth -= 1
+            continue
+        if depth > 0 and ch != "\n":
+            out[i] = " "
+    return "".join(out)
+
+
+def _load_stripped(repo_root: str, relpath: str):
+    abspath = os.path.join(repo_root, relpath.replace("/", os.sep))
+    if not os.path.exists(abspath):
+        return None
+    return lex_source(relpath, open(abspath, encoding="utf-8").read())
+
+
+# Files generated from the counter registry: these may iterate it
+# (visit / visit_fields / visit_pairs / VECFD_COUNTERS expansion) but must
+# never name an individual counter, or the hand-kept enumeration can drift
+# the moment the registry grows.
+_REGISTRY_CONSUMERS = (
+    "src/core/csv.cpp",
+    "tools/bench_to_json.cpp",
+    "tests/test_time_loop_conservation.cpp",
 )
-def rule_counter_aggregation(repo_root: str) -> list:
-    counters_path = os.path.join(repo_root, "src", "sim", "counters.h")
-    conservation_path = os.path.join(
-        repo_root, "tests", "test_time_loop_conservation.cpp"
-    )
-    if not os.path.exists(counters_path):
+
+
+@rule(
+    "counter-registry",
+    "sim::Counters is an X-macro registry: every field is declared through "
+    "VECFD_COUNTERS, operator+= / operator-= expand the registry instead of "
+    "enumerating fields, and the registry consumers (core/csv.cpp, "
+    "tools/bench_to_json.cpp, the conservation test) go through the "
+    "visit*() visitors — so a counter added to the registry is wired "
+    "everywhere at once, and a hand-kept per-field list anywhere is a "
+    "finding (subsumes PR 6's counter-aggregation rule)",
+)
+def rule_counter_registry(repo_root: str) -> list:
+    src = _load_stripped(repo_root, "src/sim/counters.h")
+    if src is None:
         return []
-    raw = open(counters_path, encoding="utf-8").read()
-    src = lex_source("src/sim/counters.h", raw)
-    struct_body = _member_section(src.stripped, "struct Counters")
-    if not struct_body:
-        return []
-    # Data members stop where the derived-totals accessors begin; the field
-    # pattern (type name = default) only matches members anyway.
-    fields = _COUNTER_FIELD_RE.findall(struct_body)
-    plus = _member_section(src.stripped, "operator+=")
-    minus = _member_section(src.stripped, "operator-=")
-    conservation = ""
-    if os.path.exists(conservation_path):
-        # Strip comments: a field mentioned only in prose is not covered.
-        conservation = lex_source(
-            "tests/test_time_loop_conservation.cpp",
-            open(conservation_path, encoding="utf-8").read(),
-        ).stripped
     findings = []
-    for name in fields:
-        missing = []
-        if not re.search(rf"\b{name}\b", plus):
-            missing.append("Counters::operator+=")
-        if not re.search(rf"\b{name}\b", minus):
-            missing.append("Counters::operator-=")
-        if not re.search(rf"\b{name}\b", conservation):
-            missing.append("tests/test_time_loop_conservation.cpp")
-        if missing:
-            decl = re.search(rf"^.*\b{name}\b.*$", src.stripped, re.M)
+
+    block = _registry_block(src.stripped)
+    if block is None:
+        return [
+            Finding(
+                "src/sim/counters.h", 1, "counter-registry",
+                "no VECFD_COUNTERS X-macro registry — counters must be "
+                "declared through the registry (see DESIGN.md §7)",
+            )
+        ]
+    fields = _REGISTRY_ENTRY_RE.findall(src.stripped[block[0] : block[1]])
+    if not fields:
+        return [
+            Finding(
+                "src/sim/counters.h", line_of(src.stripped, block[0]),
+                "counter-registry",
+                "VECFD_COUNTERS registry is empty",
+            )
+        ]
+
+    # 1. No bare data members in struct Counters outside the registry: a
+    #    smuggled field silently skips aggregation, CSV and conservation.
+    struct_start = src.stripped.find("struct Counters")
+    struct_body = _member_section(src.stripped, "struct Counters")
+    if struct_body:
+        open_idx = src.stripped.index("{", struct_start)
+        decl_surface = _mask_nested_braces(struct_body[1:-1])
+        for m in _COUNTER_FIELD_RE.finditer(decl_surface):
             findings.append(
                 Finding(
                     "src/sim/counters.h",
-                    line_of(src.stripped, decl.start()) if decl else 1,
-                    "counter-aggregation",
-                    f"Counters::{name} missing from: " + ", ".join(missing),
+                    line_of(src.stripped, open_idx + 1 + m.start(1)),
+                    "counter-registry",
+                    f"data member `{m.group(1)}` declared outside the "
+                    "VECFD_COUNTERS registry; add it as a registry entry "
+                    "so aggregation, CSV schemas and the conservation "
+                    "test pick it up",
+                )
+            )
+
+    # 2. The aggregation operators must be macro expansions, not hand lists.
+    for op in ("operator+=", "operator-="):
+        body = _member_section(src.stripped, op)
+        if not body:
+            findings.append(
+                Finding(
+                    "src/sim/counters.h", 1, "counter-registry",
+                    f"Counters::{op} has no definition expanding "
+                    "VECFD_COUNTERS",
+                )
+            )
+            continue
+        pos = src.stripped.find(op)
+        if "VECFD_COUNTERS" not in body:
+            findings.append(
+                Finding(
+                    "src/sim/counters.h", line_of(src.stripped, pos),
+                    "counter-registry",
+                    f"Counters::{op} does not expand the VECFD_COUNTERS "
+                    "registry — hand-written aggregation drifts the moment "
+                    "a counter is added",
+                )
+            )
+            continue
+        named = [n for n in fields if re.search(rf"\b{n}\b", body)]
+        if named:
+            findings.append(
+                Finding(
+                    "src/sim/counters.h", line_of(src.stripped, pos),
+                    "counter-registry",
+                    f"Counters::{op} names counter(s) "
+                    + ", ".join(f"`{n}`" for n in named)
+                    + " alongside the VECFD_COUNTERS expansion; the "
+                    "operator body must be a pure registry expansion",
+                )
+            )
+
+    # 3. Registry consumers never name individual counters — they iterate
+    #    the registry through the visitors, so coverage is structural.
+    for rel in _REGISTRY_CONSUMERS:
+        consumer = _load_stripped(repo_root, rel)
+        if consumer is None:
+            continue
+        for name in fields:
+            for m in re.finditer(rf"\b{name}\b", consumer.stripped):
+                f = Finding(
+                    rel, line_of(consumer.stripped, m.start()),
+                    "counter-registry",
+                    f"registry consumer names counter `{name}` directly; "
+                    "iterate the registry (Counters::visit / visit_fields "
+                    "/ visit_pairs) so new counters cannot be skipped",
+                )
+                if not inline_suppressed(consumer, f):
+                    findings.append(f)
+    return findings
+
+
+_LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+_FOR_STRIPS_CALL_RE = re.compile(r"\bfor_strips\s*(?:<[^>]*>\s*)?\(")
+
+
+def match_parens(text: str, open_idx: int) -> int:
+    """Offset one past the ')' matching text[open_idx] (which is '(')."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+@rule(
+    "strip-mine-contract",
+    "inside a Vpu&-taking kernel function, raw for/while loops must not "
+    "call vpu.set_vl() or issue vector ops (vpu.v*) — strip-mining goes "
+    "through the for_strips helper, whose tail strip carries the "
+    "effective-AVL/tail-mask accounting (the PR 2 bug class where a "
+    "hand-rolled tail strip ran at the wrong AVL).  The for_strips "
+    "definition itself is exempt; slab loops inside a for_strips lambda "
+    "run at a granted vl and are fine",
+)
+def rule_strip_mine(src: SourceFile, funcs: list) -> list:
+    findings = []
+    for fn in funcs:
+        if fn.name == "for_strips":
+            continue
+        pm = _VPU_PARAM_RE.search(fn.params)
+        if not pm:
+            continue
+        vpu = pm.group(1) or "vpu"
+        body = src.stripped[fn.body_start : fn.body_end]
+
+        # Extents of for_strips(...) calls: everything inside (including the
+        # strip-body lambda) is the sanctioned pattern.
+        exempt = []
+        for m in _FOR_STRIPS_CALL_RE.finditer(body):
+            open_idx = body.index("(", m.start())
+            exempt.append((m.start(), match_parens(body, open_idx)))
+
+        def exempted(pos):
+            return any(a <= pos < b for a, b in exempt)
+
+        # Extents of raw loops outside those calls.
+        loops = []
+        for m in _LOOP_RE.finditer(body):
+            if exempted(m.start()):
+                continue
+            open_idx = body.index("(", m.start())
+            head_end = match_parens(body, open_idx)
+            tail = body[head_end:]
+            brace = len(tail) - len(tail.lstrip())
+            if tail.lstrip().startswith("{"):
+                end = match_braces(body, head_end + brace)
+            else:
+                end = body.find(";", head_end)
+                end = len(body) if end < 0 else end + 1
+            loops.append((m.start(), end))
+
+        issue_re = re.compile(
+            rf"\b{re.escape(vpu)}\s*\.\s*(set_vl|v\w+)\s*\("
+        )
+        offenders = [
+            m for m in issue_re.finditer(body)
+            if not exempted(m.start())
+            and any(a <= m.start() < b for a, b in loops)
+        ]
+        if offenders:
+            first = offenders[0]
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.stripped, fn.body_start + first.start()),
+                    "strip-mine-contract",
+                    f"{fn.name}() issues `{vpu}.{first.group(1)}` inside a "
+                    f"raw loop ({len(offenders)} vector issue(s) outside "
+                    "for_strips); strip-mine through for_strips so the "
+                    "tail strip carries the effective-AVL accounting",
+                )
+            )
+    return findings
+
+
+_UNORDERED_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set)\b")
+# The layers whose bytes reach CSV/JSON/report output: iteration order must
+# be deterministic there.  (mem/ and solver/ internals may hash freely.)
+_OUTPUT_LAYER_PREFIXES = (
+    "src/core/", "src/metrics/", "src/stats/", "src/trace/", "tools/",
+    "bench/",
+)
+_PARALLEL_CALL_RE = re.compile(r"\bparallel_for_index\s*\(")
+_COMPOUND_ASSIGN_RE = re.compile(r"(?<![\w\].])(\w+)\s*[+\-*/]=(?!=)")
+
+
+@rule(
+    "determinism-audit",
+    "two hazards that break the byte-identical serial/parallel guarantee: "
+    "(1) compound assignment into a variable captured from outside a "
+    "parallel_for_index callback — iteration interleaving makes FP "
+    "accumulation order-dependent; write per-slot results and reduce after "
+    "the join; (2) std::unordered_map/unordered_set anywhere in the "
+    "CSV/report output layer (src/core, src/metrics, src/stats, src/trace, "
+    "tools, bench) — iteration order is unspecified and varies across "
+    "libstdc++ versions, so emitted rows silently reorder",
+)
+def rule_determinism_audit(src: SourceFile, funcs: list) -> list:
+    findings = []
+
+    # (1) cross-iteration accumulation in parallel callbacks.
+    for call in _PARALLEL_CALL_RE.finditer(src.stripped):
+        open_idx = src.stripped.index("(", call.start())
+        extent = src.stripped[open_idx:match_parens(src.stripped, open_idx)]
+        for m in _COMPOUND_ASSIGN_RE.finditer(extent):
+            name = m.group(1)
+            # Declared inside the callback (a per-iteration local
+            # accumulator) is fine: a type-ish token precedes the name.
+            if re.search(
+                rf"[A-Za-z_][\w:<>]*[\s&]\s*{re.escape(name)}\s*[={{;(]",
+                extent[: m.start()],
+            ):
+                continue
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.stripped, open_idx + m.start()),
+                    "determinism-audit",
+                    f"`{name}` is accumulated across parallel_for_index "
+                    "iterations; the interleaving makes the reduction "
+                    "order-dependent — write per-slot results and reduce "
+                    "deterministically after the join",
+                )
+            )
+
+    # (2) unordered containers in the output layer.  Bare fixture names
+    # (no directory) opt in so the fixture pair can exercise the rule.
+    in_output_layer = "/" not in src.path or src.path.startswith(
+        _OUTPUT_LAYER_PREFIXES
+    )
+    if in_output_layer:
+        for m in _UNORDERED_RE.finditer(src.stripped):
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.stripped, m.start()),
+                    "determinism-audit",
+                    f"std::unordered_{m.group(1)} in the output layer: "
+                    "iteration order is unspecified, so CSV/report bytes "
+                    "depend on the standard library — use std::map / "
+                    "std::set or sort before emitting",
                 )
             )
     return findings
@@ -640,6 +950,8 @@ _FILE_RULES = [
     rule_raw_thread,
     rule_solve_report_history,
     rule_csv_phase_literal,
+    rule_strip_mine,
+    rule_determinism_audit,
 ]
 
 
@@ -668,7 +980,7 @@ def scan_tree(repo_root: str, paths: list, engine: str) -> list:
                 fp = os.path.join(dirpath, name)
                 rel = os.path.relpath(fp, repo_root)
                 findings.extend(scan_file(fp, rel, engine, repo_root))
-    findings.extend(rule_counter_aggregation(repo_root))
+    findings.extend(rule_counter_registry(repo_root))
     return findings
 
 
@@ -724,19 +1036,42 @@ def self_test(repo_root: str, engine: str) -> int:
         elif os.path.isdir(path) and os.path.isdir(
             os.path.join(path, "src")
         ):
-            # counter-aggregation fixtures: a mini repo root
-            counters = os.path.join(path, "src", "sim", "counters.h")
-            raw = open(counters, encoding="utf-8").read()
-            want = [
-                (lineno, m.group(1))
-                for lineno, text in enumerate(raw.splitlines(), 1)
-                for m in _EXPECT_RE.finditer(text)
+            # counter-registry fixtures: a mini repo root.  Findings can land
+            # in counters.h or in any registry consumer, so EXPECT markers
+            # are collected from every file and keyed by repo-relative path.
+            want = []
+            for dirpath, _dn, filenames in os.walk(path):
+                for fname in sorted(filenames):
+                    if not fname.endswith(_SCAN_EXTS):
+                        continue
+                    fp = os.path.join(dirpath, fname)
+                    rel = os.path.relpath(fp, path).replace(os.sep, "/")
+                    raw = open(fp, encoding="utf-8").read()
+                    want.extend(
+                        (rel, lineno, m.group(1))
+                        for lineno, text in enumerate(raw.splitlines(), 1)
+                        for m in _EXPECT_RE.finditer(text)
+                    )
+            got = [
+                (f.path, f.line, f.rule) for f in rule_counter_registry(path)
             ]
-            got = [(f.line, f.rule) for f in rule_counter_aggregation(path)]
             check(name + "/", got, want)
 
     print(f"{cases} fixture case(s), {failures} failure(s)")
     return 1 if failures else 0
+
+
+_CHANGES_PR_RE = re.compile(r"^- PR (\d+):", re.M)
+
+
+def _infer_current_pr(repo_root: str):
+    """The PR under development = highest '- PR n:' in CHANGES.md, plus one
+    (CHANGES.md records *merged* PRs).  None when CHANGES.md is absent."""
+    path = os.path.join(repo_root, "CHANGES.md")
+    if not os.path.exists(path):
+        return None
+    nums = _CHANGES_PR_RE.findall(open(path, encoding="utf-8").read())
+    return max(int(n) for n in nums) + 1 if nums else None
 
 
 def main(argv=None) -> int:
@@ -753,6 +1088,11 @@ def main(argv=None) -> int:
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--self-test", action="store_true",
                     help="run the tests/lint fixture suite")
+    ap.add_argument(
+        "--current-pr", type=int, default=None,
+        help="PR number for expires=PR<N> checks (default: inferred from "
+        "the highest '- PR n:' line in CHANGES.md, plus one)",
+    )
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -774,11 +1114,28 @@ def main(argv=None) -> int:
     ]
     for f in findings:
         print(f)
-    for rule_id, glob, lineno in suppressions.entries:
-        if lineno not in suppressions.used:
+    current_pr = (
+        args.current_pr
+        if args.current_pr is not None
+        else _infer_current_pr(repo_root)
+    )
+    for e in suppressions.entries:
+        if e.lineno not in suppressions.used:
             print(
                 f"vecfd-lint: note: unused suppression at "
-                f".vecfd-lint-suppressions:{lineno} ({rule_id} {glob})",
+                f".vecfd-lint-suppressions:{e.lineno} ({e.rule} {e.glob})",
+                file=sys.stderr,
+            )
+        if (
+            e.expires_pr is not None
+            and current_pr is not None
+            and current_pr > e.expires_pr
+        ):
+            print(
+                f"vecfd-lint: warning: suppression at "
+                f".vecfd-lint-suppressions:{e.lineno} ({e.rule} {e.glob}) "
+                f"expired at PR{e.expires_pr} (current PR{current_pr}); "
+                "re-justify or remove it",
                 file=sys.stderr,
             )
     if findings:
