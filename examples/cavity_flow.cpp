@@ -90,7 +90,8 @@ int main() {
       apply_velocity_bcs(mesh, a, rhs_d, d);
       std::vector<double> x(static_cast<std::size_t>(nn), 0.0);
       const auto rep = solver::vbicgstab(
-          vpu, a, rhs_d, x, {.max_iterations = 400, .rel_tolerance = 1e-9},
+          vpu, a, rhs_d, x,
+          {.max_iterations = 400, .rel_tolerance = 1e-9, .precond = {}},
           cfg.vector_size);
       if (!rep.converged) {
         std::cerr << "solver failed to converge at step " << step << '\n';

@@ -52,6 +52,7 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
   cfg.blocked_momentum = point.blocked_momentum;
   cfg.format = point.format;
   cfg.rcm_renumber = point.rcm_renumber;
+  cfg.precond = point.precond;
 
   miniapp::TimeLoop loop(mesh(point.scenario), scen, cfg);
   sim::Vpu vpu(point.machine);
@@ -69,8 +70,10 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
   for (const miniapp::StepReport& s : run.loop.steps) {
     for (const solver::SolveReport& m : s.momentum) {
       run.momentum_iterations += m.iterations;
+      if (!m.failure.empty()) ++run.solver_failures;
     }
     run.pressure_iterations += s.pressure.iterations;
+    if (!s.pressure.failure.empty()) ++run.solver_failures;
   }
   if (!run.loop.steps.empty()) {
     run.final_divergence = run.loop.steps.back().div_after;

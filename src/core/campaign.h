@@ -38,6 +38,9 @@ struct CampaignPoint {
   solver::SpmvFormat format = solver::SpmvFormat::kEll;
   /// RCM solve-space renumbering (see TimeLoopConfig::rcm_renumber).
   bool rcm_renumber = false;
+  /// Pressure preconditioner rung (see TimeLoopConfig::precond and the
+  /// ladder of solver/preconditioner.h; `vecfd-run --precond`).
+  solver::PrecondKind precond = solver::PrecondKind::kJacobi;
 };
 
 /// One executed campaign point: the full TimeLoopResult plus the §2.2
@@ -56,6 +59,10 @@ struct CampaignRun {
   int pressure_iterations = 0;  ///< Σ over steps (phase 10)
   double final_divergence = 0.0;  ///< div_after of the last step
   bool all_converged = false;
+  /// Σ over steps of solves that exited through SolveReport::failure
+  /// (setup errors such as a zero operator diagonal) — distinct from a
+  /// mere non-convergence, which leaves failure empty.
+  int solver_failures = 0;
 
   double phase_cycles(int p) const {
     return loop.phase[static_cast<std::size_t>(p)].total_cycles();

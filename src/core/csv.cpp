@@ -81,20 +81,24 @@ void write_csv(std::ostream& os, std::span<const Measurement> ms) {
 }
 
 void write_campaign_csv_header(std::ostream& os) {
-  os << "scenario,machine,opt,format,rcm,vector_size,effective_strip,steps,"
+  os << "scenario,machine,opt,format,rcm,precond,vector_size,"
+        "effective_strip,steps,"
         "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev";
   write_counter_columns(os, sim::in_campaign_csv);
   for (int p = 1; p <= miniapp::kNumInstrumentedPhases; ++p) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
-  os << ",momentum_iters,pressure_iters,final_div,all_converged\n";
+  os << ",momentum_iters,pressure_iters,final_div,all_converged,"
+        "solver_failures\n";
 }
 
 void write_campaign_row(std::ostream& os, const CampaignRun& r) {
   const ScopedPrecision prec(os);
   os << r.scenario << ',' << r.point.machine.name << ','
      << to_string(r.point.opt) << ',' << to_string(r.point.format) << ','
-     << (r.point.rcm_renumber ? 1 : 0) << ',' << r.point.vector_size << ','
+     << (r.point.rcm_renumber ? 1 : 0) << ','
+     << solver::to_string(r.point.precond) << ','
+     << r.point.vector_size << ','
      << solver::solve_effective_strip(r.point.vector_size, r.point.machine)
      << ',' << r.point.steps << ',' << r.total_cycles << ','
      << r.loop.total.total_instrs() << ',' << r.loop.total.vector_instrs()
@@ -106,7 +110,8 @@ void write_campaign_row(std::ostream& os, const CampaignRun& r) {
     os << ',' << r.phase_cycles(p) << ',' << pm.mv << ',' << pm.avl;
   }
   os << ',' << r.momentum_iterations << ',' << r.pressure_iterations << ','
-     << r.final_divergence << ',' << (r.all_converged ? 1 : 0) << '\n';
+     << r.final_divergence << ',' << (r.all_converged ? 1 : 0) << ','
+     << r.solver_failures << '\n';
 }
 
 void write_campaign_csv(std::ostream& os, std::span<const CampaignRun> rs) {

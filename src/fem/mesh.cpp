@@ -59,6 +59,34 @@ std::vector<int> rcm_ordering(const std::vector<std::vector<int>>& adjacency) {
   return order;
 }
 
+std::vector<int> structured_aggregates(const Mesh& mesh, int factor) {
+  if (factor < 1) {
+    throw std::invalid_argument(
+        "structured_aggregates: factor must be >= 1");
+  }
+  const MeshConfig& cfg = mesh.config();
+  const double dx = cfg.lx / cfg.nx;
+  const double dy = cfg.ly / cfg.ny;
+  const double dz = cfg.lz / cfg.nz;
+  // blocks per axis over the (n+1)-node lattice; the last block on each
+  // axis may be partial but never empty
+  const int bx = (cfg.nx + 1 + factor - 1) / factor;
+  const int by = (cfg.ny + 1 + factor - 1) / factor;
+  const int n = mesh.num_nodes();
+  std::vector<int> agg(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto p = mesh.node(i);
+    // distortion moves interior nodes by < 0.3 of a cell, so rounding to
+    // the nearest lattice plane recovers the undistorted index exactly
+    const int ix = static_cast<int>(std::lround(p[0] / dx));
+    const int iy = static_cast<int>(std::lround(p[1] / dy));
+    const int iz = static_cast<int>(std::lround(p[2] / dz));
+    agg[static_cast<std::size_t>(i)] =
+        (ix / factor) + bx * ((iy / factor) + by * (iz / factor));
+  }
+  return agg;
+}
+
 Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   if (cfg.nx <= 0 || cfg.ny <= 0 || cfg.nz <= 0) {
     throw std::invalid_argument("Mesh: element counts must be positive");

@@ -40,6 +40,20 @@ struct MeshConfig {
 /// edges are ignored; the input may contain duplicates.
 std::vector<int> rcm_ordering(const std::vector<std::vector<int>>& adjacency);
 
+class Mesh;
+
+/// Deflation coarse space for the preconditioner ladder (solver::
+/// Preconditioner, DESIGN.md §8): group the (nx+1)·(ny+1)·(nz+1) nodes
+/// into lattice blocks of `factor` nodes per axis and return, per node,
+/// its aggregate id.  The lattice index of every node is recovered from
+/// its coordinates — distortion offsets interior nodes by at most
+/// `distortion` (≤ 0.3) of a cell per axis, so round(coord/d) is exact —
+/// which makes the result independent of node numbering (shuffle-robust)
+/// and fully deterministic.  Aggregate ids are dense in [0, n_aggregates)
+/// and every aggregate is non-empty (partial blocks at the high faces are
+/// simply smaller).  @throws std::invalid_argument when factor < 1.
+std::vector<int> structured_aggregates(const Mesh& mesh, int factor);
+
 class Mesh {
  public:
   explicit Mesh(const MeshConfig& cfg);

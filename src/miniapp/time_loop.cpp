@@ -12,6 +12,11 @@ namespace vecfd::miniapp {
 
 namespace {
 
+/// Deflation coarse space: lattice blocks of 2³ nodes.  Small blocks keep
+/// the coarse space rich enough that the pressure iteration count levels
+/// off under refinement (the property bench/precond_ladder gates on).
+constexpr int kDeflationAggregateFactor = 2;
+
 /// Turn row r of @p a into the identity row for every fixed node: the
 /// Dirichlet value lands in the RHS and the solution exactly carries it.
 /// Columns are left intact so interior rows keep their coupling to the
@@ -100,6 +105,26 @@ TimeLoop::TimeLoop(const fem::Mesh& mesh, const Scenario& scenario,
                          rcm_perm_[static_cast<std::size_t>(cs[k])]);
       }
     }
+  }
+
+  // Pressure preconditioner ladder (DESIGN.md §8): the rung knob lands on
+  // the phase-10 SolveOptions; kDeflate additionally needs the structured
+  // coarse space, composed with the RCM permutation when the solve runs in
+  // solve order (aggregate of solve row q = aggregate of node perm[q]).
+  cfg_.pressure.precond.kind = cfg_.precond;
+  if (cfg_.precond == solver::PrecondKind::kDeflate) {
+    std::vector<int> agg =
+        fem::structured_aggregates(*mesh_, kDeflationAggregateFactor);
+    if (cfg_.rcm_renumber) {
+      std::vector<int> agg_solve(agg.size());
+      for (int q = 0; q < nn; ++q) {
+        agg_solve[static_cast<std::size_t>(q)] =
+            agg[static_cast<std::size_t>(
+                rcm_perm_[static_cast<std::size_t>(q)])];
+      }
+      agg.swap(agg_solve);
+    }
+    cfg_.pressure.precond.aggregates = std::move(agg);
   }
 }
 

@@ -53,9 +53,9 @@ struct TimeLoopConfig {
   int vector_size = 240;
   OptLevel opt = OptLevel::kVec1;
   solver::SolveOptions momentum{.max_iterations = 500,
-                                .rel_tolerance = 1e-10};
+                                .rel_tolerance = 1e-10, .precond = {}};
   solver::SolveOptions pressure{.max_iterations = 1000,
-                                .rel_tolerance = 1e-10};
+                                .rel_tolerance = 1e-10, .precond = {}};
   /// Phase 9 path: true (default) runs the fused multi-RHS block solve
   /// (vbicgstab_multi, shared operator slabs); false runs the sequential
   /// per-component solves 9a–9c.  Both produce bit-identical fields and
@@ -77,6 +77,14 @@ struct TimeLoopConfig {
   /// while the returned fields agree to solver tolerance (the round-trip
   /// test of test_format_equivalence).
   bool rcm_renumber = false;
+  /// Preconditioner rung of the phase-10 pressure solve (the ladder of
+  /// solver/preconditioner.h; `vecfd-run --precond`).  kJacobi reproduces
+  /// the historic instruction stream bit for bit; kCheby and kDeflate
+  /// trade more instrumented work per iteration for fewer iterations.
+  /// For kDeflate the loop builds the structured coarse space itself
+  /// (fem::structured_aggregates at a fixed block factor of 2, composed
+  /// with the RCM permutation when rcm_renumber is set).
+  solver::PrecondKind precond = solver::PrecondKind::kJacobi;
 };
 
 /// Per-step convergence and incompressibility diagnostics.

@@ -30,6 +30,19 @@ std::vector<SolveReport>& checked(std::vector<SolveReport>& reps) {
   return reps;
 }
 
+bool precond_from_string(std::string_view name, PrecondKind& out) {
+  if (name == "jacobi") {
+    out = PrecondKind::kJacobi;
+  } else if (name == "cheby") {
+    out = PrecondKind::kCheby;
+  } else if (name == "deflate") {
+    out = PrecondKind::kDeflate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 double dot(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("dot: dimension mismatch");
@@ -115,6 +128,38 @@ SolveReport& breakdown_exit(SolveReport& rep, int it,
   if (rel < rel_tolerance) rep.converged = true;
   return checked(rep);
 }
+
+/// The ladder beyond Jacobi lives in the instrumented SPD vcg path only
+/// (solver/preconditioner.h); the nonsymmetric host/bicgstab solvers reject
+/// the higher rungs loudly instead of silently running Jacobi.
+void require_jacobi_rung(const SolveOptions& opts, const char* who) {
+  if (opts.jacobi_precondition &&
+      opts.precond.kind != PrecondKind::kJacobi) {
+    throw std::invalid_argument(
+        std::string(who) + ": preconditioner '" +
+        to_string(opts.precond.kind) +
+        "' is only available on the SPD vcg path (use vcg, or kJacobi)");
+  }
+}
+
+/// Failure exit (see SolveReport::failure): the preconditioner could not
+/// be built, so the solve never ran.  x is the caller's iterate untouched;
+/// the contract still holds with history == {rel0} and iterations == 0.
+SolveReport& failure_exit(SolveReport& rep, const char* why,
+                          const CsrMatrix& a, std::span<const double> b,
+                          std::span<const double> x, double bnorm,
+                          double rel_tolerance) {
+  std::vector<double> r(b.size());
+  a.spmv(x, r);
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - r[i];
+  const double rel0 = norm2(r) / bnorm;
+  rep.failure = why;
+  rep.iterations = 0;
+  rep.residual = rel0;
+  rep.history.assign(1, rel0);
+  rep.converged = rel0 < rel_tolerance;
+  return checked(rep);
+}
 }  // namespace
 
 SolveReport cg(const CsrMatrix& a, std::span<const double> b,
@@ -123,6 +168,7 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("cg: dimension mismatch");
   }
+  require_jacobi_rung(opts, "cg");
   SolveReport rep;
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
@@ -132,7 +178,14 @@ SolveReport cg(const CsrMatrix& a, std::span<const double> b,
     return checked(rep);
   }
   std::vector<double> dinv;
-  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+  if (opts.jacobi_precondition) {
+    try {
+      dinv = jacobi_inverse_diagonal(a);
+    } catch (const std::runtime_error& e) {
+      return checked(
+          failure_exit(rep, e.what(), a, b, x, bnorm, opts.rel_tolerance));
+    }
+  }
 
   std::vector<double> r(n), z(n), p(n), ap(n);
   a.spmv(x, r);
@@ -180,6 +233,7 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("bicgstab: dimension mismatch");
   }
+  require_jacobi_rung(opts, "bicgstab");
   SolveReport rep;
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
@@ -189,7 +243,14 @@ SolveReport bicgstab(const CsrMatrix& a, std::span<const double> b,
     return checked(rep);
   }
   std::vector<double> dinv;
-  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+  if (opts.jacobi_precondition) {
+    try {
+      dinv = jacobi_inverse_diagonal(a);
+    } catch (const std::runtime_error& e) {
+      return checked(
+          failure_exit(rep, e.what(), a, b, x, bnorm, opts.rel_tolerance));
+    }
+  }
 
   std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n);
   std::vector<double> phat(n), shat(n);
@@ -286,6 +347,7 @@ std::vector<SolveReport> bicgstab_multi(const CsrMatrix& a,
   if (b.size() != n * static_cast<std::size_t>(k) || x.size() != b.size()) {
     throw std::invalid_argument("bicgstab_multi: dimension mismatch");
   }
+  require_jacobi_rung(opts, "bicgstab_multi");
   auto ccol = [n](std::span<const double> blk, int d) {
     return blk.subspan(static_cast<std::size_t>(d) * n, n);
   };
@@ -302,7 +364,28 @@ std::vector<SolveReport> bicgstab_multi(const CsrMatrix& a,
   int remaining = 0;
 
   std::vector<double> dinv;
-  if (opts.jacobi_precondition) dinv = jacobi_inverse_diagonal(a);
+  if (opts.jacobi_precondition) {
+    try {
+      dinv = jacobi_inverse_diagonal(a);
+    } catch (const std::runtime_error& e) {
+      // every non-trivial column fails identically; zero-RHS columns keep
+      // their ordinary exit (they never needed the preconditioner)
+      for (int d = 0; d < k; ++d) {
+        SolveReport& rep = reps[static_cast<std::size_t>(d)];
+        auto xd = mcol(x, d);
+        const double bn = norm2(ccol(b, d));
+        if (bn == 0.0) {
+          std::fill(xd.begin(), xd.end(), 0.0);
+          rep.converged = true;
+          rep.history.push_back(0.0);
+        } else {
+          failure_exit(rep, e.what(), a, ccol(b, d), xd, bn,
+                       opts.rel_tolerance);
+        }
+      }
+      return checked(reps);
+    }
+  }
 
   const std::size_t cells = n * static_cast<std::size_t>(k);
   std::vector<double> R(cells, 0.0), R0(cells, 0.0), P(cells, 0.0);

@@ -3,16 +3,77 @@
 
 #include <functional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "solver/csr.h"
 
 namespace vecfd::solver {
 
+/// Preconditioner ladder for the SPD (phase-10 pressure-Poisson) solve,
+/// weakest to strongest.  Every rung above kJacobi is built from the same
+/// instrumented kernels the counter model already prices (DESIGN.md §8);
+/// only the SPD vcg path accepts the higher rungs — the nonsymmetric
+/// bicgstab solvers reject them loudly.
+enum class PrecondKind {
+  kJacobi,   ///< inverse diagonal (current behaviour, bit-identical)
+  kCheby,    ///< Chebyshev polynomial in the Jacobi-scaled operator
+  kDeflate,  ///< Jacobi + two-level coarse correction (aggregates)
+};
+
+constexpr const char* to_string(PrecondKind k) {
+  switch (k) {
+    case PrecondKind::kJacobi:  return "jacobi";
+    case PrecondKind::kCheby:   return "cheby";
+    case PrecondKind::kDeflate: return "deflate";
+  }
+  return "?";
+}
+
+/// CLI spelling -> kind; returns false on an unknown name (the vecfd-run
+/// --precond exit-2 contract reports the offending value).
+bool precond_from_string(std::string_view name, PrecondKind& out);
+
+/// Knobs for the non-trivial rungs.  Defaults are the studied operating
+/// point (bench/precond_ladder); all of them are deterministic.
+struct PrecondOptions {
+  PrecondKind kind = PrecondKind::kJacobi;
+
+  // -- Chebyshev rung -----------------------------------------------------
+  /// Polynomial degree (SpMVs per apply).  3 triples the per-iteration
+  /// operator work and roughly halves the CG iteration count on the
+  /// studied meshes — between Jacobi and deflation on the ladder.
+  int cheby_degree = 3;
+  /// Instrumented power iterations estimating λmax of D⁻¹A on the
+  /// selected vspmv path (charged to the surrounding solve phase).
+  int power_iterations = 8;
+  /// Safety factor on the λmax estimate (power iteration approaches the
+  /// true value from below; the polynomial must stay positive on the
+  /// whole spectrum to keep the preconditioned operator SPD).
+  double cheby_boost = 1.1;
+  /// Target interval is [λmax·boost/ratio, λmax·boost]: the polynomial
+  /// damps this band hard and leaves the low modes to CG itself.
+  double cheby_ratio = 30.0;
+
+  // -- deflation rung -----------------------------------------------------
+  /// Fine row -> aggregate id (size n, ids dense in [0, num aggregates)).
+  /// The TimeLoop fills this from fem::structured_aggregates composed
+  /// with the active solve ordering; empty aggregates are rejected.
+  std::vector<int> aggregates;
+  /// Host coarse-solve (CG on the Galerkin operator PᵀAP) controls.
+  int coarse_max_iterations = 500;
+  double coarse_rel_tolerance = 1e-12;
+};
+
 struct SolveOptions {
   int max_iterations = 1000;
   double rel_tolerance = 1e-10;  ///< on ‖r‖₂ / ‖b‖₂
+  /// false disables preconditioning entirely (precond.kind is ignored and
+  /// the solve runs un-preconditioned, as before the ladder existed).
   bool jacobi_precondition = true;
+  /// Which ladder rung to run when preconditioning is enabled.
+  PrecondOptions precond;
 };
 
 /// Reporting contract, honoured on EVERY exit path of every solver in this
@@ -37,11 +98,21 @@ struct SolveOptions {
 ///     holds on convergence, budget exhaustion, breakdowns and the trivial
 ///     b = 0 / already-converged-guess exits alike (test_property_solvers
 ///     asserts it on every path).
+///   * A preconditioner that cannot be built (e.g. a structurally zero
+///     diagonal feeding Jacobi) is a per-solve FAILURE, not an exception
+///     escaping to the caller: the solver returns with `failure` naming the
+///     cause, `iterations == 0`, the untouched iterate, and the contract
+///     above intact (`history == {rel0}` with the true residual of that
+///     iterate) — a bad point fails its campaign row instead of aborting
+///     the whole campaign.
 struct SolveReport {
   bool converged = false;
   int iterations = 0;
   double residual = 0.0;      ///< final relative residual (see contract above)
   std::vector<double> history;  ///< [0] initial + one entry per iteration
+  /// Non-empty: the solve could not run (preconditioner setup failed);
+  /// x is the incoming iterate, untouched.
+  std::string failure;
 };
 
 /// Always-on exit gate for the contract above: every solver return path in

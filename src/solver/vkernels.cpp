@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "solver/preconditioner.h"
+
 namespace vecfd::solver {
 
 EllMatrix::EllMatrix(const CsrMatrix& a) { assign(a); }
@@ -47,17 +49,8 @@ int effective_strip(const sim::Vpu& vpu, int strip) {
   return solve_effective_strip(strip, vpu.config());
 }
 
-/// Strip-mined traversal of [0, n): fn(i, vl) sees vl = min(strip, n - i)
-/// already granted via vsetvl.
-template <class Fn>
-void for_strips(sim::Vpu& vpu, int n, int strip, Fn&& fn) {
-  for (int i = 0; i < n;) {
-    const int vl = vpu.set_vl(std::min(strip, n - i));
-    fn(i, vl);
-    vpu.sarith(2);  // strip bump + loop bound check
-    i += vl;
-  }
-}
+// for_strips — the canonical strip-miner — now lives in vkernels.h so the
+// preconditioner kernels share it.
 
 void check_len(std::size_t got, std::size_t want, const char* what) {
   if (got != want) {
@@ -132,6 +125,37 @@ SolveReport& vbreakdown_exit(sim::Vpu& vpu, SolveReport& rep, int it,
   rep.residual = rel;
   rep.history.push_back(rel);
   if (rel < opts.rel_tolerance) rep.converged = true;
+  return checked(rep);
+}
+
+/// Mirror of krylov.cpp's guard: rungs above Jacobi live on the SPD vcg
+/// path only; the nonsymmetric solvers reject them loudly.
+void vrequire_jacobi_rung(const SolveOptions& opts, const char* who) {
+  if (opts.jacobi_precondition &&
+      opts.precond.kind != PrecondKind::kJacobi) {
+    throw std::invalid_argument(
+        std::string(who) + ": preconditioner '" +
+        to_string(opts.precond.kind) +
+        "' is only available on the SPD vcg path (use vcg, or kJacobi)");
+  }
+}
+
+/// Instrumented failure exit (SolveReport::failure, see krylov.h): the
+/// preconditioner could not be built, the solve never ran, x is untouched.
+/// The true residual of that iterate is computed through the Vpu so even
+/// the failure path stays counter-priced; @p r is workspace scratch.
+SolveReport& vfailure_exit(sim::Vpu& vpu, SolveReport& rep, const char* why,
+                           const OperatorMirror& op, std::span<const double> b,
+                           std::span<const double> x, std::span<double> r,
+                           double bnorm, const SolveOptions& opts, int strip) {
+  op.apply(vpu, x, r, strip);
+  vsub(vpu, b, r, r, strip);
+  const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
+  rep.failure = why;
+  rep.iterations = 0;
+  rep.residual = rel0;
+  rep.history.assign(1, rel0);
+  rep.converged = rel0 < opts.rel_tolerance;
   return checked(rep);
 }
 
@@ -403,6 +427,20 @@ void vcopy(sim::Vpu& vpu, std::span<const double> src, std::span<double> dst,
   } else {
     for (int i = 0; i < n; ++i) {
       vpu.sstore(dst.data() + i, vpu.sload(src.data() + i));
+      vpu.sarith(1);
+    }
+  }
+}
+
+void vscal(sim::Vpu& vpu, double alpha, std::span<double> x, int strip) {
+  const int n = static_cast<int>(x.size());
+  if (vector_path(vpu)) {
+    for_strips(vpu, n, effective_strip(vpu, strip), [&](int i, int) {
+      vpu.vstore(x.data() + i, vpu.vmul_s(vpu.vload(x.data() + i), alpha));
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      vpu.sstore(x.data() + i, vpu.smul(vpu.sload(x.data() + i), alpha));
       vpu.sarith(1);
     }
   }
@@ -889,12 +927,6 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   }
   KrylovWorkspace local;
   if (ws == nullptr) ws = &local;
-  std::vector<double>& dinv = ws->dinv;
-  if (opts.jacobi_precondition) {
-    jacobi_inverse_diagonal_into(a, dinv);
-  } else {
-    dinv.clear();
-  }
   ws->op.assign(a, format, mirror_slice_height(strip, vpu.config()));
   const OperatorMirror& op = ws->op;
 
@@ -903,6 +935,17 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   z.assign(n, 0.0);
   p.assign(n, 0.0);
   ap.assign(n, 0.0);
+  // The ladder rung (solver/preconditioner.h).  kJacobi issues no setup
+  // instructions, so that rung's stream is bit-identical to the historic
+  // inline-Jacobi vcg; kCheby's power iterations run here, inside the
+  // caller's phase scope, so eigenvalue estimation is counter-priced.
+  if (!ws->precond) ws->precond = std::make_shared<Preconditioner>();
+  try {
+    ws->precond->setup(vpu, a, op, opts, strip);
+  } catch (const std::runtime_error& e) {
+    return checked(
+        vfailure_exit(vpu, rep, e.what(), op, b, x, r, bnorm, opts, strip));
+  }
   op.apply(vpu, x, r, strip);
   vsub(vpu, b, r, r, strip);
   const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
@@ -912,7 +955,7 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
     rep.converged = true;
     return checked(rep);
   }
-  vjacobi_apply(vpu, dinv, r, z, strip);
+  ws->precond->apply(vpu, r, z, strip);
   vcopy(vpu, z, p, strip);
   double rz = vdot(vpu, r, z, strip);
 
@@ -933,7 +976,7 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
       rep.converged = true;
       return checked(rep);
     }
-    vjacobi_apply(vpu, dinv, r, z, strip);
+    ws->precond->apply(vpu, r, z, strip);
     const double rz_new = vdot(vpu, r, z, strip);
     const double beta = vpu.sdiv(rz_new, rz);
     rz = rz_new;
@@ -950,6 +993,7 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   if (static_cast<int>(n) != a.rows() || x.size() != n) {
     throw std::invalid_argument("vbicgstab: dimension mismatch");
   }
+  vrequire_jacobi_rung(opts, "vbicgstab");
   SolveReport rep;
   const double bnorm = vnorm2(vpu, b, strip);
   if (bnorm == 0.0) {
@@ -960,12 +1004,6 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   }
   KrylovWorkspace local;
   if (ws == nullptr) ws = &local;
-  std::vector<double>& dinv = ws->dinv;
-  if (opts.jacobi_precondition) {
-    jacobi_inverse_diagonal_into(a, dinv);
-  } else {
-    dinv.clear();
-  }
   ws->op.assign(a, format, mirror_slice_height(strip, vpu.config()));
   const OperatorMirror& op = ws->op;
 
@@ -979,6 +1017,17 @@ SolveReport vbicgstab(sim::Vpu& vpu, const CsrMatrix& a,
   t.assign(n, 0.0);
   phat.assign(n, 0.0);
   shat.assign(n, 0.0);
+  std::vector<double>& dinv = ws->dinv;
+  if (opts.jacobi_precondition) {
+    try {
+      jacobi_inverse_diagonal_into(a, dinv);
+    } catch (const std::runtime_error& e) {
+      return checked(
+          vfailure_exit(vpu, rep, e.what(), op, b, x, r, bnorm, opts, strip));
+    }
+  } else {
+    dinv.clear();
+  }
   op.apply(vpu, x, r, strip);
   vsub(vpu, b, r, r, strip);
   const double rel0 = vpu.sdiv(vnorm2(vpu, r, strip), bnorm);
@@ -1069,6 +1118,7 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
   if (b.size() != cells || x.size() != cells) {
     throw std::invalid_argument("vbicgstab_multi: dimension mismatch");
   }
+  vrequire_jacobi_rung(opts, "vbicgstab_multi");
   auto bcol = [&](int d) {
     return b.subspan(static_cast<std::size_t>(d) * n, n);
   };
@@ -1107,17 +1157,30 @@ std::vector<SolveReport> vbicgstab_multi(sim::Vpu& vpu, const CsrMatrix& a,
 
   KrylovWorkspace local;
   if (ws == nullptr) ws = &local;
-  std::vector<double>& dinv = ws->dinv;
-  if (opts.jacobi_precondition) {
-    jacobi_inverse_diagonal_into(a, dinv);
-  } else {
-    dinv.clear();
-  }
   ws->op.assign(a, format, mirror_slice_height(strip, vpu.config()));
   const OperatorMirror& op = ws->op;
 
   std::vector<double>&R = ws->r, &R0 = ws->z, &P = ws->p, &V = ws->q;
   std::vector<double>&S = ws->s, &T = ws->t, &Phat = ws->u, &Shat = ws->w;
+  std::vector<double>& dinv = ws->dinv;
+  if (opts.jacobi_precondition) {
+    try {
+      jacobi_inverse_diagonal_into(a, dinv);
+    } catch (const std::runtime_error& e) {
+      // per-column instrumented failure exits; zero-RHS columns already
+      // took their ordinary exit above
+      R.assign(cells, 0.0);
+      for (int d = 0; d < k; ++d) {
+        const std::size_t ud = static_cast<std::size_t>(d);
+        if (!active[ud]) continue;
+        vfailure_exit(vpu, reps[ud], e.what(), op, bcol(d), xcol(d),
+                      mcol(R, d), bnorm[ud], opts, strip);
+      }
+      return checked(reps);
+    }
+  } else {
+    dinv.clear();
+  }
   R.assign(cells, 0.0);
   R0.assign(cells, 0.0);
   P.assign(cells, 0.0);

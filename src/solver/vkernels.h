@@ -30,7 +30,9 @@
 // time-stepping code the setup amortizes over many solves.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -41,6 +43,23 @@
 #include "solver/sell.h"
 
 namespace vecfd::solver {
+
+/// The canonical strip-miner: the ONE place a raw loop may drive set_vl.
+/// fn(i, vl) sees vl = min(strip, n - i) already granted via vsetvl; the
+/// tail strip carries the effective-AVL/tail-mask accounting, and every
+/// strip charges the 2-op loop-control overhead.  vecfd-lint rule
+/// `strip-mine-contract` rejects vector issues in raw loops outside calls
+/// to this helper — new kernels (the preconditioner ladder included) must
+/// route their strip traversal through it.
+template <class Fn>
+void for_strips(sim::Vpu& vpu, int n, int strip, Fn&& fn) {
+  for (int i = 0; i < n;) {
+    const int vl = vpu.set_vl(std::min(strip, n - i));
+    fn(i, vl);
+    vpu.sarith(2);  // strip bump + loop bound check
+    i += vl;
+  }
+}
 
 /// Column-major padded ELL mirror of a CsrMatrix.
 ///
@@ -174,6 +193,10 @@ void vsub(sim::Vpu& vpu, std::span<const double> a, std::span<const double> b,
 void vcopy(sim::Vpu& vpu, std::span<const double> src, std::span<double> dst,
            int strip = 0);
 
+/// x *= alpha (the power-iteration normalization and Chebyshev direction
+/// rescale).
+void vscal(sim::Vpu& vpu, double alpha, std::span<double> x, int strip = 0);
+
 void vfill(sim::Vpu& vpu, std::span<double> dst, double value, int strip = 0);
 
 /// z = dinv ⊙ r (Jacobi application); an empty dinv degrades to a copy.
@@ -266,10 +289,16 @@ void vjacobi_apply_multi(sim::Vpu& vpu, std::span<const double> dinv,
 /// single- and multi-RHS solves of different block sizes within a
 /// measurement (the resize would be exactly the mid-measurement
 /// realloc churn the workspace exists to prevent).
+class Preconditioner;  // solver/preconditioner.h
+
 struct KrylovWorkspace {
   OperatorMirror op;
   std::vector<double> dinv;
   std::vector<double> r, z, p, q, s, t, u, w;
+  /// vcg's ladder rung (solver/preconditioner.h), created on first solve
+  /// and reused so its Vpu-touched scratch persists across the
+  /// measurement like every other workspace buffer.
+  std::shared_ptr<Preconditioner> precond;
 };
 
 SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,

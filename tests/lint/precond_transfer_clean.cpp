@@ -1,0 +1,58 @@
+// vecfd-lint fixture: strip-mine-contract COMPLIANT — preconditioner-style
+// transfer kernels (the deflation restriction/prolongation shape of
+// solver/preconditioner.cpp).  The padded-slab gather walk and the width-1
+// prolongation gather both run inside for_strips bodies; per-slab inner
+// loops run at the granted vl and are fine.  Not compiled.
+#include <algorithm>
+
+namespace sim {
+struct Vec {};
+struct Vpu {
+  int set_vl(int n);
+  Vec vsplat(double s);
+  Vec vload(const double* p);
+  Vec vload_i32(const int* p);
+  Vec vgather(const double* base, Vec idx);
+  void vstore(double* p, Vec v);
+  Vec vadd(Vec a, Vec b);
+  Vec vfma_s(Vec a, double s, Vec c);
+  void sarith(int n);
+};
+}  // namespace sim
+
+template <class Body>
+void for_strips(sim::Vpu& vpu, int n, int strip, Body&& body) {
+  for (int i = 0; i < n;) {
+    const int vl = vpu.set_vl(std::min(strip, n - i));
+    vpu.sarith(2);
+    body(i, vl);
+    i += vl;
+  }
+}
+
+// Restriction rc[c] = Σ r[cols[w][c]] over padded column slabs (pads are
+// masked −1 indices): the slab loop lives inside the strip body.
+void restrict_sum(sim::Vpu& vpu, const int* cols, int width, int nc,
+                  const double* r, double* rc, int strip) {
+  for_strips(vpu, nc, strip, [&](int c, int /*vl*/) {
+    sim::Vec acc = vpu.vsplat(0.0);
+    for (int w = 0; w < width; ++w) {
+      const sim::Vec idx = vpu.vload_i32(cols + w * nc + c);
+      acc = vpu.vadd(acc, vpu.vgather(r, idx));
+      vpu.sarith(1);
+    }
+    vpu.vstore(rc + c, acc);
+  });
+}
+
+// Prolongation z[i] += alpha * zc[agg[i]]: a width-1 gather feeding a
+// scaled accumulate, strip-mined like every other BLAS-1 kernel.
+void prolong_axpy(sim::Vpu& vpu, const int* agg, double alpha,
+                  const double* zc, double* z, int n, int strip) {
+  for_strips(vpu, n, strip, [&](int i, int /*vl*/) {
+    const sim::Vec idx = vpu.vload_i32(agg + i);
+    const sim::Vec cs = vpu.vgather(zc, idx);
+    const sim::Vec vz = vpu.vload(z + i);
+    vpu.vstore(z + i, vpu.vfma_s(cs, alpha, vz));
+  });
+}

@@ -1,0 +1,43 @@
+// vecfd-lint fixture: strip-mine-contract VIOLATIONS — transfer kernels
+// hand-rolling the strip walk instead of going through for_strips.  One
+// finding per function, anchored at the first offending call.  Not
+// compiled.
+#include <algorithm>
+
+namespace sim {
+struct Vec {};
+struct Vpu {
+  int set_vl(int n);
+  Vec vsplat(double s);
+  Vec vload(const double* p);
+  Vec vload_i32(const int* p);
+  Vec vgather(const double* base, Vec idx);
+  void vstore(double* p, Vec v);
+  Vec vadd(Vec a, Vec b);
+  Vec vfma_s(Vec a, double s, Vec c);
+};
+}  // namespace sim
+
+void restrict_sum_hand_rolled(sim::Vpu& vpu, const int* cols, int width,
+                              int nc, const double* r, double* rc) {
+  for (int c = 0; c < nc;) {
+    const int vl = vpu.set_vl(std::min(256, nc - c));  // EXPECT-FINDING(strip-mine-contract)
+    sim::Vec acc = vpu.vsplat(0.0);
+    for (int w = 0; w < width; ++w) {
+      acc = vpu.vadd(acc, vpu.vgather(r, vpu.vload_i32(cols + w * nc + c)));
+    }
+    vpu.vstore(rc + c, acc);
+    c += vl;
+  }
+}
+
+void prolong_axpy_in_while(sim::Vpu& vpu, const int* agg, double alpha,
+                           const double* zc, double* z, int n) {
+  int i = 0;
+  while (i < n) {
+    const sim::Vec idx = vpu.vload_i32(agg + i);  // EXPECT-FINDING(strip-mine-contract)
+    const sim::Vec cs = vpu.vgather(zc, idx);
+    vpu.vstore(z + i, vpu.vfma_s(cs, alpha, vpu.vload(z + i)));
+    i += 8;
+  }
+}

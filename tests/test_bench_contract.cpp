@@ -26,9 +26,8 @@ struct RunResult {
   double seconds = 0.0;
 };
 
-RunResult run_check(const std::string& baseline_path) {
-  const std::string cmd =
-      kBin + " --check " + baseline_path + " 2>&1 1>/dev/null";
+RunResult run_args(const std::string& args) {
+  const std::string cmd = kBin + " " + args + " 2>&1 1>/dev/null";
   const auto t0 = std::chrono::steady_clock::now();
   FILE* p = popen(cmd.c_str(), "r");
   EXPECT_NE(p, nullptr);
@@ -45,6 +44,10 @@ RunResult run_check(const std::string& baseline_path) {
                                             t0)
                   .count();
   return r;
+}
+
+RunResult run_check(const std::string& baseline_path) {
+  return run_args("--check " + baseline_path);
 }
 
 fs::path write_temp(const std::string& name, const std::string& content) {
@@ -107,6 +110,40 @@ TEST(BenchContract, BrokenBaselineFailsBeforeMeasuring) {
 TEST(BenchContract, UsageErrorsExitTwo) {
   const RunResult both = run_check("a.json --out b.json");
   EXPECT_EQ(both.exit_code, 2);
+}
+
+TEST(BenchContract, StringMetricValueIsCorruptNotANestedBench) {
+  // Regression: an unparseable metric VALUE used to be mistaken for a
+  // nested-bench opener (only lines ending in '{' open one), silently
+  // re-homing every later metric under a phantom bench.  It must be an
+  // exit-2 corrupt-baseline error naming the offending line.
+  const fs::path path = write_temp(
+      "vecfd_string_value_baseline.json",
+      "{\n  \"schema\": \"vecfd-bench-v1\",\n  \"benches\": {\n"
+      "    \"b\": {\n      \"m\": oops\n    }\n  }\n}\n");
+  const RunResult r = run_check(path.string());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find(path.string()), std::string::npos)
+      << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("oops"), std::string::npos)
+      << "stderr must name the offending line:\n"
+      << r.stderr_text;
+  fs::remove(path);
+}
+
+TEST(BenchContract, BadToleranceExitsTwoNamingTheFlag) {
+  // --tolerance must reject non-numeric, trailing-junk and negative
+  // values with the exit-2 usage contract, naming the flag — before any
+  // measurement runs.
+  for (const std::string bad : {"abc", "1e-6x", "-0.5", ""}) {
+    const RunResult r =
+        run_args("--check whatever.json --tolerance '" + bad + "'");
+    EXPECT_EQ(r.exit_code, 2) << "--tolerance " << bad;
+    EXPECT_NE(r.stderr_text.find("--tolerance"), std::string::npos)
+        << "stderr must name the flag for value '" << bad << "':\n"
+        << r.stderr_text;
+    EXPECT_LT(r.seconds, 2.0) << "validation must precede measurement";
+  }
 }
 
 }  // namespace

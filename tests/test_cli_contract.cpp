@@ -161,6 +161,8 @@ TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
       {"--frobnicate", "--frobnicate"},
       {"--machine", "--machine"},  // missing value
       {"--solve --scheme explicit", "--solve"},  // solve needs a matrix
+      {"--precond bogus", "--precond"},
+      {"--precond cheby", "--precond"},  // ladder rungs need --transient
   };
   for (const auto& c : cases) {
     EXPECT_NE(exit_code(c.args), 0) << c.args;

@@ -112,7 +112,8 @@ TEST(FormatEquivalence, KrylovHistoriesBitIdenticalAcrossFormats) {
     const CsrMatrix spd = random_system(n, 3, /*spd=*/true, rng);
     const CsrMatrix gen = random_system(n, 4, /*spd=*/false, rng);
     const std::vector<double> b = random_vector(n, rng);
-    const SolveOptions opts{.max_iterations = 200, .rel_tolerance = 1e-11};
+    const SolveOptions opts{
+        .max_iterations = 200, .rel_tolerance = 1e-11, .precond = {}};
 
     for (const auto& m : kMachines) {
       SolveReport cg_ref, bi_ref;
@@ -164,7 +165,8 @@ TEST(FormatEquivalence, MultiRhsColumnsBitIdenticalAcrossFormats) {
   for (double& v : B) {
     v = std::uniform_real_distribution<double>(-1.0, 1.0)(rng);
   }
-  const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+  const SolveOptions opts{
+      .max_iterations = 300, .rel_tolerance = 1e-11, .precond = {}};
   for (const auto& m : kMachines) {
     std::vector<SolveReport> ref;
     std::vector<double> xref;
@@ -233,7 +235,8 @@ TEST(FormatEquivalence, BreakdownAndEdgeExitsBitIdenticalAcrossFormats) {
       {
         sim::Vpu vpu(m);
         budget = solver::vcg(
-            vpu, spd, b, x2, {.max_iterations = 2, .rel_tolerance = 1e-30},
+            vpu, spd, b, x2,
+            {.max_iterations = 2, .rel_tolerance = 1e-30, .precond = {}},
             16, nullptr, fmt);
       }
       EXPECT_FALSE(budget.converged) << what;
@@ -352,7 +355,8 @@ TEST(RcmRoundTrip, SpmvIsExactAndSolveMatchesToTolerance) {
   // permute → solve → inverse-permute equals the unpermuted solve to
   // solver tolerance (the iterate sequences differ by FP reassociation)
   const std::vector<double> b = random_vector(n, rng);
-  const SolveOptions opts{.max_iterations = 400, .rel_tolerance = 1e-12};
+  const SolveOptions opts{
+      .max_iterations = 400, .rel_tolerance = 1e-12, .precond = {}};
   std::vector<double> x_plain(static_cast<std::size_t>(n), 0.0);
   const SolveReport plain = solver::cg(a, b, x_plain, opts);
   ASSERT_TRUE(plain.converged);

@@ -193,7 +193,8 @@ TEST(MultiRhsSolvers, HostMultiMatchesHostSinglePerColumn) {
   const int k = 3;
   const CsrMatrix a = random_system(n, 4, /*spd=*/false, rng);
   const std::vector<double> B = random_block(n, k, 13);
-  const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+  const SolveOptions opts{
+      .max_iterations = 300, .rel_tolerance = 1e-11, .precond = {}};
 
   std::vector<double> X(B.size(), 0.0);
   const auto reps = solver::bicgstab_multi(a, B, X, k, opts);
@@ -219,7 +220,8 @@ TEST(MultiRhsSolvers, VpuMultiMatchesVpuSinglePerColumnOnAllPlatforms) {
   const int k = 3;
   const CsrMatrix a = random_system(n, 4, /*spd=*/false, rng);
   const std::vector<double> B = random_block(n, k, 17);
-  const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+  const SolveOptions opts{
+      .max_iterations = 300, .rel_tolerance = 1e-11, .precond = {}};
 
   for (const auto& m : kMachines) {
     sim::Vpu vpu(m);
@@ -253,7 +255,7 @@ TEST(MultiRhsSolvers, PerColumnBreakdownLifecycleMatchesStandalone) {
   a.add(1, 1, -1.0);
   const SolveOptions opts{.max_iterations = 50,
                           .rel_tolerance = 1e-10,
-                          .jacobi_precondition = false};
+                          .jacobi_precondition = false, .precond = {}};
   const std::vector<double> B{1.0, 1.0, 1.0, 0.0};  // cols (1,1) and (1,0)
 
   for (const auto& m : kMachines) {

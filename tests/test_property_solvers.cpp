@@ -111,7 +111,8 @@ TEST(PropertySolvers, SpdSystemsOnAllPlatforms) {
     const int n = 40 + 17 * trial;  // odd sizes: remainder strips
     const CsrMatrix a = random_system(n, 3, /*spd=*/true, rng);
     const std::vector<double> b = random_vector(n, rng);
-    const SolveOptions opts{.max_iterations = 200, .rel_tolerance = 1e-11};
+    const SolveOptions opts{
+        .max_iterations = 200, .rel_tolerance = 1e-11, .precond = {}};
 
     std::vector<double> x_host(static_cast<std::size_t>(n), 0.0);
     const SolveReport host = solver::cg(a, b, x_host, opts);
@@ -142,7 +143,8 @@ TEST(PropertySolvers, NonsymmetricSystemsOnAllPlatforms) {
     const int n = 37 + 23 * trial;
     const CsrMatrix a = random_system(n, 4, /*spd=*/false, rng);
     const std::vector<double> b = random_vector(n, rng);
-    const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+    const SolveOptions opts{
+        .max_iterations = 300, .rel_tolerance = 1e-11, .precond = {}};
 
     std::vector<double> x_host(static_cast<std::size_t>(n), 0.0);
     const SolveReport host = solver::bicgstab(a, b, x_host, opts);
@@ -170,7 +172,8 @@ TEST(PropertySolvers, IterationBudgetExitKeepsResidualTruthful) {
   const CsrMatrix a = random_system(n, 3, /*spd=*/true, rng);
   const std::vector<double> b = random_vector(n, rng);
   // an impossible tolerance with a tiny budget forces the budget exit
-  const SolveOptions opts{.max_iterations = 2, .rel_tolerance = 1e-30};
+  const SolveOptions opts{
+      .max_iterations = 2, .rel_tolerance = 1e-30, .precond = {}};
   for (const auto& m : kMachines) {
     for (const bool use_cg : {true, false}) {
       sim::Vpu vpu(m);
@@ -228,7 +231,8 @@ TEST(PropertySolvers, HistoryLengthInvariantOnEveryExitPath) {
   // budget exit
   std::vector<double> x2(static_cast<std::size_t>(n), 0.0);
   expect_invariant(
-      solver::cg(a, b, x2, {.max_iterations = 1, .rel_tolerance = 1e-30}),
+      solver::cg(a, b, x2,
+                 {.max_iterations = 1, .rel_tolerance = 1e-30, .precond = {}}),
       "cg budget");
   // zero-RHS exit
   std::vector<double> x3 = random_vector(n, rng);
@@ -347,7 +351,8 @@ TEST(PropertySolvers, MultiRhsColumnsHonourTheContractOnAllPlatforms) {
   for (double& v : B) {
     v = std::uniform_real_distribution<double>(-1.0, 1.0)(rng);
   }
-  const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-11};
+  const SolveOptions opts{
+      .max_iterations = 300, .rel_tolerance = 1e-11, .precond = {}};
 
   for (const auto& m : kMachines) {
     sim::Vpu vpu(m);

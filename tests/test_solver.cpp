@@ -111,7 +111,8 @@ TEST(Cg, SolvesPoissonToTolerance) {
   a.spmv(xref, b);
   std::vector<double> x(n, 0.0);
   const auto rep = cg(a, b, x, {.max_iterations = 500,
-                                .rel_tolerance = 1e-12});
+                                .rel_tolerance = 1e-12,
+                                .precond = {}});
   EXPECT_TRUE(rep.converged);
   for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
 }
@@ -145,7 +146,8 @@ TEST(Cg, WithoutPreconditionerStillConverges) {
   std::vector<double> x(32, 0.0);
   const auto rep = cg(a, b, x, {.max_iterations = 200,
                                 .rel_tolerance = 1e-10,
-                                .jacobi_precondition = false});
+                                .jacobi_precondition = false,
+                                .precond = {}});
   EXPECT_TRUE(rep.converged);
 }
 
@@ -160,7 +162,8 @@ TEST(Bicgstab, SolvesNonsymmetricSystem) {
   a.spmv(xref, b);
   std::vector<double> x(n, 0.0);
   const auto rep = bicgstab(a, b, x, {.max_iterations = 500,
-                                      .rel_tolerance = 1e-12});
+                                      .rel_tolerance = 1e-12,
+                                      .precond = {}});
   EXPECT_TRUE(rep.converged);
   for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-7);
 }
@@ -222,7 +225,8 @@ TEST(Bicgstab, R0vBreakdownReportsTruthfulResidual) {
   std::vector<double> b{1.0, 1.0};
   std::vector<double> x(2, 0.0);
   // unpreconditioned: v = A·r = [1, -1] ⟂ r0 = [1, 1] → r0·v == 0
-  const auto rep = bicgstab(a, b, x, {.jacobi_precondition = false});
+  const auto rep =
+      bicgstab(a, b, x, {.jacobi_precondition = false, .precond = {}});
   EXPECT_FALSE(rep.converged);
   EXPECT_NEAR(rep.residual, 1.0, 1e-14);
   ASSERT_FALSE(rep.history.empty());
@@ -235,7 +239,8 @@ TEST(Bicgstab, SingularOperatorBreakdownReportsTruthfulResidual) {
   CsrMatrix a(std::vector<std::vector<int>>(2));
   std::vector<double> b{3.0, 4.0};
   std::vector<double> x(2, 0.0);
-  const auto rep = bicgstab(a, b, x, {.jacobi_precondition = false});
+  const auto rep =
+      bicgstab(a, b, x, {.jacobi_precondition = false, .precond = {}});
   EXPECT_FALSE(rep.converged);
   EXPECT_NEAR(rep.residual, 1.0, 1e-14);
 }

@@ -40,7 +40,8 @@ TEST(SolverFem, MomentumOperatorIsSolvable) {
   std::vector<double> x(static_cast<std::size_t>(n), 0.0);
   const auto rep = solver::bicgstab(s.sys.matrix, b, x,
                                     {.max_iterations = 500,
-                                     .rel_tolerance = 1e-11});
+                                     .rel_tolerance = 1e-11,
+                                     .precond = {}});
   ASSERT_TRUE(rep.converged) << "res=" << rep.residual;
   for (int i = 0; i < n; ++i) {
     EXPECT_NEAR(x[static_cast<std::size_t>(i)],
@@ -57,11 +58,11 @@ TEST(SolverFem, JacobiPreconditioningReducesIterations) {
   const auto plain = solver::bicgstab(
       s.sys.matrix, b, x1,
       {.max_iterations = 2000, .rel_tolerance = 1e-10,
-       .jacobi_precondition = false});
+       .jacobi_precondition = false, .precond = {}});
   const auto precond = solver::bicgstab(
       s.sys.matrix, b, x2,
       {.max_iterations = 2000, .rel_tolerance = 1e-10,
-       .jacobi_precondition = true});
+       .jacobi_precondition = true, .precond = {}});
   ASSERT_TRUE(plain.converged);
   ASSERT_TRUE(precond.converged);
   EXPECT_LE(precond.iterations, plain.iterations);

@@ -147,7 +147,8 @@ TEST(Vcg, GoldenMatchAgainstHostCg) {
   std::vector<double> xref = random_vector(n, 3);
   std::vector<double> b(n);
   a.spmv(xref, b);
-  const SolveOptions opts{.max_iterations = 500, .rel_tolerance = 1e-12};
+  const SolveOptions opts{
+      .max_iterations = 500, .rel_tolerance = 1e-12, .precond = {}};
 
   std::vector<double> x_host(n, 0.0);
   const auto rep_host = cg(a, b, x_host, opts);
@@ -173,7 +174,8 @@ TEST(Vbicgstab, GoldenMatchAgainstHostOnFemOperator) {
   }
   std::vector<double> b(static_cast<std::size_t>(n));
   f.sys.matrix.spmv(xref, b);
-  const SolveOptions opts{.max_iterations = 500, .rel_tolerance = 1e-12};
+  const SolveOptions opts{
+      .max_iterations = 500, .rel_tolerance = 1e-12, .precond = {}};
 
   std::vector<double> x_host(static_cast<std::size_t>(n), 0.0);
   const auto rep_host = bicgstab(f.sys.matrix, b, x_host, opts);
@@ -195,7 +197,8 @@ TEST(Vkernels, ScalarMachineFallbackComputesIdenticalValues) {
   std::vector<double> xref = random_vector(n, 5);
   std::vector<double> b(n);
   a.spmv(xref, b);
-  const SolveOptions opts{.max_iterations = 300, .rel_tolerance = 1e-12};
+  const SolveOptions opts{
+      .max_iterations = 300, .rel_tolerance = 1e-12, .precond = {}};
 
   sim::Vpu vpu(platforms::riscv_vec_scalar());
   std::vector<double> x(n, 0.0);
@@ -235,7 +238,8 @@ TEST(Vkernels, AvlApproachesVlmaxWithLargeStrips) {
   std::vector<double> xref = random_vector(n, 11);
   std::vector<double> b(n);
   a.spmv(xref, b);
-  const SolveOptions opts{.max_iterations = 50, .rel_tolerance = 1e-10};
+  const SolveOptions opts{
+      .max_iterations = 50, .rel_tolerance = 1e-10, .precond = {}};
   const int vlmax = platforms::riscv_vec().vlmax;
 
   auto solve_avl = [&](int strip) {

@@ -120,10 +120,11 @@ TEST(TransientCampaign, CsvSchemaDerivesFromInstrumentedPhaseCount) {
     return 1 + std::count(line.begin(), line.end(), ',');
   };
   EXPECT_EQ(count_cols(header), count_cols(row));
-  // 19 identity/metric columns (incl. format/rcm and the gather-quality
-  // counters), the ph block, and the 4-column convergence digest
+  // 20 identity/metric columns (incl. format/rcm/precond and the
+  // gather-quality counters), the ph block, and the 5-column convergence
+  // digest (iterations, divergence, convergence + solver_failures)
   EXPECT_EQ(count_cols(header),
-            19 + 3 * miniapp::kNumInstrumentedPhases + 4);
+            20 + 3 * miniapp::kNumInstrumentedPhases + 5);
   EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
 }
 

@@ -128,6 +128,36 @@ Metrics measure_format_sweep() {
   return m;
 }
 
+/// precond_ladder core: the three rungs of the pressure preconditioner
+/// ladder (DESIGN.md §8) on a fixed 8^3 cavity — pressure iterations and
+/// phase-10 cycles per rung plus the Jacobi-relative iteration reductions
+/// the bench gates on.
+Metrics measure_precond_ladder() {
+  miniapp::Scenario scen = miniapp::scenario_cavity();
+  scen.mesh = {.nx = 8, .ny = 8, .nz = 8};
+  const fem::Mesh mesh(scen.mesh);
+  const int steps = 2;
+  const int vs = 240;
+  Metrics m;
+  double jacobi_iters = 0.0;
+  for (const auto kind :
+       {solver::PrecondKind::kJacobi, solver::PrecondKind::kCheby,
+        solver::PrecondKind::kDeflate}) {
+    const auto st = bench::run_transient_point(
+        mesh, scen, platforms::riscv_vec(), vs, steps, /*blocked=*/true,
+        solver::SpmvFormat::kEll, /*rcm=*/false, /*spinup=*/false, kind);
+    const std::string tag = solver::to_string(kind);
+    m["pressure_iters_" + tag] = st.pressure_iterations;
+    m["pressure_cycles_" + tag] = st.cycles_p10;
+    if (kind == solver::PrecondKind::kJacobi) {
+      jacobi_iters = st.pressure_iterations;
+    } else if (jacobi_iters > 0.0) {
+      m["iter_redux_" + tag] = st.pressure_iterations / jacobi_iters;
+    }
+  }
+  return m;
+}
+
 /// --counters-out: every registered counter of one fixed tiny transient
 /// run, emitted in registry order straight from Counters::visit().  The
 /// metric set IS the registry — there is no list here to forget to extend.
@@ -186,6 +216,7 @@ void write_json(std::ostream& os, const Report& report) {
 struct Baseline {
   Report report;
   bool schema_ok = false;  ///< carried the "vecfd-bench-v1" schema marker
+  std::string parse_error;  ///< non-empty: corrupt line (exit-2 contract)
 
   std::size_t num_metrics() const {
     std::size_t n = 0;
@@ -196,7 +227,11 @@ struct Baseline {
 
 /// Minimal reader for the exact shape write_json emits: "key": number
 /// pairs nested two levels deep.  Not a general JSON parser — it only has
-/// to round-trip our own files.
+/// to round-trip our own files.  A nested bench opens ONLY on a line whose
+/// value is "{" — a "key": value line whose value fails to parse as a
+/// number is a corrupt baseline (parse_error), never silently treated as
+/// an opener (that bug used to swallow every later metric into a
+/// phantom bench and report them all MISSING).
 std::optional<Baseline> read_json(const std::string& path) {
   std::ifstream is(path);
   if (!is) return std::nullopt;
@@ -217,12 +252,17 @@ std::optional<Baseline> read_json(const std::string& path) {
     if (key == "benches") continue;
     const auto colon = line.find(':', q2);
     if (colon == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    if (last != std::string::npos && line[last] == '{') {
+      bench = key;  // a nested object opens: "<bench>": {
+      continue;
+    }
     const std::string rest = line.substr(colon + 1);
     char* end = nullptr;
     const double v = std::strtod(rest.c_str(), &end);
     if (end == rest.c_str()) {
-      bench = key;  // a nested object opens: "<bench>": {
-      continue;
+      baseline.parse_error = "unparseable metric value in line: " + line;
+      return baseline;
     }
     baseline.report[bench][key] = v;
   }
@@ -238,6 +278,11 @@ std::optional<Baseline> load_baseline(const std::string& path) {
   auto baseline = read_json(path);
   if (!baseline) {
     std::cerr << "bench_to_json: cannot read baseline " << path << '\n';
+    return std::nullopt;
+  }
+  if (!baseline->parse_error.empty()) {
+    std::cerr << "bench_to_json: corrupt baseline " << path << ": "
+              << baseline->parse_error << '\n';
     return std::nullopt;
   }
   if (!baseline->schema_ok) {
@@ -324,7 +369,14 @@ int main(int argc, char** argv) {
         std::cerr << "bench_to_json: --tolerance: missing value\n";
         return 2;
       }
-      tolerance = std::strtod(v, nullptr);
+      char* end = nullptr;
+      tolerance = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(tolerance) ||
+          tolerance < 0.0) {
+        std::cerr << "bench_to_json: --tolerance: invalid value '" << v
+                  << "' (want a non-negative relative tolerance)\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_to_json (--out FILE | --check FILE | "
                    "--counters-out FILE) [--tolerance REL]\n";
@@ -355,6 +407,7 @@ int main(int argc, char** argv) {
   Report report;
   report["multirhs_speedup"] = measure_multirhs();
   report["spmv_format_sweep"] = measure_format_sweep();
+  report["precond_ladder"] = measure_precond_ladder();
 
   if (!out_path.empty()) {
     std::ofstream os(out_path);

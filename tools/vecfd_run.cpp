@@ -53,6 +53,7 @@ struct Options {
   std::string scheme = "explicit";
   std::string format = "ell";
   bool rcm = false;
+  std::string precond = "jacobi";
   int vs = 240;
   int jobs = 0;  ///< sweep worker threads; 0 = all cores, 1 = serial
   bool sweep = false;
@@ -82,6 +83,9 @@ void usage(std::ostream& os) {
         "                machine's format     (default ell)\n"
         "  --rcm         reverse-Cuthill-McKee solve-space renumbering\n"
         "                (transient runs)\n"
+        "  --precond P   jacobi | cheby | deflate — phase-10 pressure\n"
+        "                preconditioner rung (transient runs; DESIGN.md\n"
+        "                S8)                  (default jacobi)\n"
         "  --vs N        VECTOR_SIZE           (default 240)\n"
         "  --sweep       run the paper's full grid {16,64,128,240,256,512}\n"
         "                x {vanilla,vec2,ivec2,vec1} in parallel\n"
@@ -166,6 +170,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.format = v;
     } else if (a == "--rcm") {
       opt.rcm = true;
+    } else if (a == "--precond") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      opt.precond = v;
     } else if (a == "--vs") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -269,6 +277,9 @@ void print_campaign_run(const core::CampaignRun& r) {
             << to_string(r.point.opt) << " / "
             << to_string(r.point.format)
             << (r.point.rcm_renumber ? "+rcm" : "")
+            << (r.point.precond != solver::PrecondKind::kJacobi
+                    ? std::string("+") + solver::to_string(r.point.precond)
+                    : "")
             << " / VECTOR_SIZE=" << r.point.vector_size << " / steps="
             << r.point.steps << '\n';
   std::cout << "  cycles=" << core::fmt(r.total_cycles, 0)
@@ -290,13 +301,19 @@ void print_campaign_run(const core::CampaignRun& r) {
             << " iters (phase 9), pressure " << r.pressure_iterations
             << " iters (phase 10), "
             << (r.all_converged ? "all converged" : "NOT all converged")
-            << ", final div=" << core::fmt(r.final_divergence, 6) << '\n';
+            << ", final div=" << core::fmt(r.final_divergence, 6);
+  if (r.solver_failures > 0) {
+    std::cout << ", " << r.solver_failures << " solver FAILURES";
+  }
+  std::cout << '\n';
 }
 
 /// The transient path: a single TimeLoop run, or (--sweep) the full
 /// campaign over scenario x platform x VECTOR_SIZE.
 int run_transient(const Options& opts, const sim::MachineConfig& machine,
                   miniapp::OptLevel level, solver::SpmvFormat format) {
+  solver::PrecondKind precond = solver::PrecondKind::kJacobi;
+  solver::precond_from_string(opts.precond, precond);  // validated by caller
   std::vector<miniapp::Scenario> scens;
   if (opts.scenario || !opts.sweep) {
     const std::string name = opts.scenario.value_or("cavity");
@@ -331,6 +348,7 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
       p.format = opts.format == "auto" ? core::recommend_format(p.machine)
                                        : format;
       p.rcm_renumber = opts.rcm;
+      p.precond = precond;
     }
   } else {
     core::CampaignPoint p;
@@ -340,6 +358,7 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
     p.opt = level;
     p.format = format;
     p.rcm_renumber = opts.rcm;
+    p.precond = precond;
     points.push_back(p);
   }
 
@@ -442,6 +461,18 @@ int main(int argc, char** argv) {
   if (opts.rcm && !opts.transient()) {
     fail("--rcm", "requires a transient run (add --steps or --scenario; "
                   "the assembly sweep solves in assembly order)");
+    return 2;
+  }
+  solver::PrecondKind precond = solver::PrecondKind::kJacobi;
+  if (!solver::precond_from_string(opts.precond, precond)) {
+    fail("--precond", "unknown preconditioner '" + opts.precond +
+                          "' (want jacobi, cheby or deflate)");
+    return 2;
+  }
+  if (precond != solver::PrecondKind::kJacobi && !opts.transient()) {
+    fail("--precond", "requires a transient run (add --steps or --scenario; "
+                      "the ladder preconditions the phase-10 pressure "
+                      "solve)");
     return 2;
   }
 
