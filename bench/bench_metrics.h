@@ -50,6 +50,11 @@ struct SolveStats {
   std::uint64_t gather_lines = 0;   ///< distinct lines touched by gathers
   std::uint64_t pad_lanes = 0;
   std::uint64_t coalesced_lanes = 0;
+  std::uint64_t halo_lines = 0;      ///< phase-10 halo lines sent + received
+  std::uint64_t halo_messages = 0;   ///< phase-10 ghost-exchange messages
+  std::uint64_t p10_gather_lines = 0;  ///< phase-10 gathered lines alone
+  double pressure_makespan = 0.0;    ///< phase-10 BSP critical path (§9)
+  double p10_avl = 0.0;              ///< phase-10 average vector length
   int iterations = 0;               ///< Σ momentum iterations (phase 9)
   int pressure_iterations = 0;      ///< Σ pressure iterations (phase 10)
 
@@ -108,7 +113,8 @@ inline SolveStats run_transient_point(
     const fem::Mesh& mesh, const miniapp::Scenario& scen,
     const sim::MachineConfig& machine, int vs, int steps, bool blocked,
     solver::SpmvFormat format, bool rcm, bool spinup,
-    solver::PrecondKind precond = solver::PrecondKind::kJacobi) {
+    solver::PrecondKind precond = solver::PrecondKind::kJacobi,
+    int shards = 1) {
   miniapp::TimeLoopConfig cfg;
   cfg.steps = steps;
   cfg.vector_size = vs;
@@ -116,6 +122,7 @@ inline SolveStats run_transient_point(
   cfg.format = format;
   cfg.rcm_renumber = rcm;
   cfg.precond = precond;
+  cfg.shards = shards;
   miniapp::TimeLoop loop(mesh, scen, cfg);
   sim::Vpu vpu(machine);
   if (spinup) (void)loop.run(vpu);
@@ -135,6 +142,11 @@ inline SolveStats run_transient_point(
   st.gather_lines = p9.gather_lines_touched + p10.gather_lines_touched;
   st.pad_lanes = p9.pad_lanes + p10.pad_lanes;
   st.coalesced_lanes = p9.coalesced_lanes + p10.coalesced_lanes;
+  st.halo_lines = p10.halo_lines_sent + p10.halo_lines_recv;
+  st.halo_messages = p10.halo_messages;
+  st.p10_gather_lines = p10.gather_lines_touched;
+  st.pressure_makespan = res.pressure_makespan_cycles;
+  st.p10_avl = metrics::compute(p10, machine.vlmax).avl;
   for (const auto& step : res.steps) {
     for (const auto& rep : step.momentum) st.iterations += rep.iterations;
     st.pressure_iterations += step.pressure.iterations;

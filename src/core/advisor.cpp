@@ -1,6 +1,7 @@
 #include "core/advisor.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "metrics/metrics.h"
 
@@ -15,15 +16,25 @@ std::string to_string(FindingKind k) {
     case FindingKind::kOpaqueBound:     return "opaque-bound";
     case FindingKind::kCachePressure:   return "cache-pressure";
     case FindingKind::kGatherBound:     return "gather-bound";
+    case FindingKind::kHaloBound:       return "halo-bound";
     case FindingKind::kHealthy:         return "healthy";
   }
   return "?";
 }
 
-solver::SpmvFormat recommend_format(const sim::MachineConfig& machine) {
+solver::SpmvFormat recommend_format(const sim::MachineConfig& machine,
+                                    int local_rows) {
   if (!machine.vector_enabled) return solver::SpmvFormat::kCsrHost;
-  return machine.vlmax >= 64 ? solver::SpmvFormat::kSell
-                             : solver::SpmvFormat::kEll;
+  if (machine.vlmax < 64) return solver::SpmvFormat::kEll;
+  // SELL-C-σ pays through filled slices; a sharded restriction with fewer
+  // than ~4 vlmax-rows per Vpu leaves the slice bookkeeping unamortized
+  // and the padded ELL mirror wins (DESIGN.md §9).
+  return local_rows >= 4 * machine.vlmax ? solver::SpmvFormat::kSell
+                                         : solver::SpmvFormat::kEll;
+}
+
+solver::SpmvFormat recommend_format(const sim::MachineConfig& machine) {
+  return recommend_format(machine, std::numeric_limits<int>::max());
 }
 
 namespace {
@@ -96,9 +107,37 @@ std::vector<Finding> advise(const Measurement& m) {
       continue;
     }
 
+    const sim::Counters& pc = m.phase[p];
+
+    // Sharded-solve surface-to-volume: ghost traffic priced by the halo
+    // counters against the useful gathered lines of the same phase.  Over
+    // 20% means the subdomain surfaces rival their volumes — the partition
+    // is too fine for this mesh (DESIGN.md §9).  Checked before gather
+    // quality: a halo-dominated phase should shed shards before it shops
+    // for storage formats.
+    if (pc.halo_lines_sent + pc.halo_lines_recv > 0 &&
+        pc.gather_lines_touched > 0) {
+      const double halo =
+          static_cast<double>(pc.halo_lines_sent + pc.halo_lines_recv);
+      const double ratio = halo / static_cast<double>(pc.gather_lines_touched);
+      if (ratio > 0.2) {
+        Finding f;
+        f.kind = FindingKind::kHaloBound;
+        f.phase = p;
+        f.severity = share * std::min(ratio, 1.0);
+        f.message =
+            "phase " + std::to_string(p) + " exchanges " +
+            std::to_string(100.0 * ratio).substr(0, 4) +
+            "% as many halo cache lines as it gathers; the subdomain "
+            "surface rivals its volume — run fewer, fatter shards "
+            "(--shards) or refine the mesh";
+        findings.push_back(std::move(f));
+        continue;
+      }
+    }
+
     // Solve-phase gather quality: few reused lines per gathered lane (a
     // scattered numbering) or a pad-heavy ELL mirror — the formats lever.
-    const sim::Counters& pc = m.phase[p];
     if (mc.vector_enabled && p >= miniapp::kSolvePhase &&
         pc.vmem_indexed_instrs > 0) {
       const double lanes = static_cast<double>(pc.gather_lanes);

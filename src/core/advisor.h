@@ -27,6 +27,9 @@ enum class FindingKind {
   kCachePressure,      ///< high L1 DCM/ki on a memory-bound phase
   kGatherBound,        ///< solve-phase gathers touch ~1 line/lane or drown
                        ///< in pad lanes — the SELL/RCM lever (DESIGN.md §6)
+  kHaloBound,          ///< sharded solve moves more halo lines than 20% of
+                       ///< its gathered lines — surface dominates volume;
+                       ///< fewer/fatter shards (DESIGN.md §9)
   kHealthy,            ///< nothing actionable
 };
 
@@ -50,5 +53,14 @@ std::string to_string(FindingKind k);
 /// machine keeps the padded ELL mirror — at vlmax ~8 the slice
 /// bookkeeping outweighs the pads it removes.
 solver::SpmvFormat recommend_format(const sim::MachineConfig& machine);
+
+/// Shard-aware variant: @p local_rows is the operator row count each Vpu
+/// actually streams (total rows / shards under domain decomposition,
+/// DESIGN.md §9).  SELL-C-σ amortizes its slice bookkeeping over many
+/// rows; when a shard's restriction drops below ~4·vlmax rows the slices
+/// can no longer fill and the padded ELL mirror wins even on long-vector
+/// machines.  recommend_format(machine) is the unsharded special case.
+solver::SpmvFormat recommend_format(const sim::MachineConfig& machine,
+                                    int local_rows);
 
 }  // namespace vecfd::core

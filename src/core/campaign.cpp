@@ -53,6 +53,7 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
   cfg.format = point.format;
   cfg.rcm_renumber = point.rcm_renumber;
   cfg.precond = point.precond;
+  cfg.shards = point.shards;
 
   miniapp::TimeLoop loop(mesh(point.scenario), scen, cfg);
   sim::Vpu vpu(point.machine);
@@ -67,6 +68,11 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
     run.phase_metrics[static_cast<std::size_t>(p)] = metrics::compute(
         run.loop.phase[static_cast<std::size_t>(p)], point.machine.vlmax);
   }
+  // One aggregated failure count per POINT: the sharded pressure path
+  // returns a single SolveReport per step (never one per shard), and its
+  // setup failures fall back to the legacy solve whose instrumented
+  // failure exit is counted here exactly once — so solver_failures /
+  // precond columns stay consistent across shard counts.
   for (const miniapp::StepReport& s : run.loop.steps) {
     for (const solver::SolveReport& m : s.momentum) {
       run.momentum_iterations += m.iterations;

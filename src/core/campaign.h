@@ -41,6 +41,11 @@ struct CampaignPoint {
   /// Pressure preconditioner rung (see TimeLoopConfig::precond and the
   /// ladder of solver/preconditioner.h; `vecfd-run --precond`).
   solver::PrecondKind precond = solver::PrecondKind::kJacobi;
+  /// Pressure-solve shard count (see TimeLoopConfig::shards and DESIGN.md
+  /// §9; `vecfd-run --shards`).  Fields and residual histories are
+  /// bit-identical across shard counts, so per-point convergence columns
+  /// (iterations, failures, divergence) are shard-invariant by contract.
+  int shards = 1;
 };
 
 /// One executed campaign point: the full TimeLoopResult plus the §2.2

@@ -81,7 +81,7 @@ void write_csv(std::ostream& os, std::span<const Measurement> ms) {
 }
 
 void write_campaign_csv_header(std::ostream& os) {
-  os << "scenario,machine,opt,format,rcm,precond,vector_size,"
+  os << "scenario,machine,opt,format,rcm,precond,shards,vector_size,"
         "effective_strip,steps,"
         "total_cycles,total_instrs,vector_instrs,mv,av,vcpi,avl,ev";
   write_counter_columns(os, sim::in_campaign_csv);
@@ -89,7 +89,7 @@ void write_campaign_csv_header(std::ostream& os) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
   os << ",momentum_iters,pressure_iters,final_div,all_converged,"
-        "solver_failures\n";
+        "solver_failures,pressure_makespan_cycles\n";
 }
 
 void write_campaign_row(std::ostream& os, const CampaignRun& r) {
@@ -97,7 +97,7 @@ void write_campaign_row(std::ostream& os, const CampaignRun& r) {
   os << r.scenario << ',' << r.point.machine.name << ','
      << to_string(r.point.opt) << ',' << to_string(r.point.format) << ','
      << (r.point.rcm_renumber ? 1 : 0) << ','
-     << solver::to_string(r.point.precond) << ','
+     << solver::to_string(r.point.precond) << ',' << r.point.shards << ','
      << r.point.vector_size << ','
      << solver::solve_effective_strip(r.point.vector_size, r.point.machine)
      << ',' << r.point.steps << ',' << r.total_cycles << ','
@@ -111,7 +111,7 @@ void write_campaign_row(std::ostream& os, const CampaignRun& r) {
   }
   os << ',' << r.momentum_iterations << ',' << r.pressure_iterations << ','
      << r.final_divergence << ',' << (r.all_converged ? 1 : 0) << ','
-     << r.solver_failures << '\n';
+     << r.solver_failures << ',' << r.loop.pressure_makespan_cycles << '\n';
 }
 
 void write_campaign_csv(std::ostream& os, std::span<const CampaignRun> rs) {

@@ -1,0 +1,71 @@
+#include "fem/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vecfd::fem {
+
+MeshPartition partition_mesh(const Mesh& mesh, int shards, int quantum,
+                             std::span<const int> perm) {
+  const int n = mesh.num_nodes();
+  if (shards < 1 || quantum < 1) {
+    throw std::invalid_argument(
+        "partition_mesh: need shards >= 1 and quantum >= 1");
+  }
+  if (!perm.empty() && static_cast<int>(perm.size()) != n) {
+    throw std::invalid_argument("partition_mesh: perm size mismatch");
+  }
+  // inv[node] = solve index; identity when no ordering was supplied.
+  std::vector<int> inv(static_cast<std::size_t>(n), -1);
+  if (perm.empty()) {
+    for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(i)] = i;
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const int old = perm[static_cast<std::size_t>(i)];
+      if (old < 0 || old >= n || inv[static_cast<std::size_t>(old)] != -1) {
+        throw std::invalid_argument(
+            "partition_mesh: perm is not a permutation");
+      }
+      inv[static_cast<std::size_t>(old)] = i;
+    }
+  }
+
+  MeshPartition part;
+  part.plan.shards = shards;
+  part.plan.quantum = quantum;
+  part.plan.bounds = solver::strip_bounds(n, shards, quantum);
+  part.plan.ghosts.assign(static_cast<std::size_t>(shards), {});
+
+  // Overlap-1 ghost closure in solve ordering: for every owned node, the
+  // solve indices of its mesh neighbours that land outside the ownership
+  // range.  node_adjacency() is the assembled operator's sparsity pattern,
+  // so the closure covers every matrix column the shard's rows reference.
+  const std::vector<std::vector<int>> adj = mesh.node_adjacency();
+  for (int p = 0; p < shards; ++p) {
+    const int lo = part.plan.bounds[static_cast<std::size_t>(p)];
+    const int hi = part.plan.bounds[static_cast<std::size_t>(p) + 1];
+    auto& ghosts = part.plan.ghosts[static_cast<std::size_t>(p)];
+    for (int g = lo; g < hi; ++g) {
+      const int node = perm.empty() ? g : perm[static_cast<std::size_t>(g)];
+      for (const int nb : adj[static_cast<std::size_t>(node)]) {
+        const int h = inv[static_cast<std::size_t>(nb)];
+        if (h < lo || h >= hi) ghosts.push_back(h);
+      }
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  }
+
+  // Element -> shard owning its lowest solve-ordered node.
+  part.element_shard.assign(static_cast<std::size_t>(mesh.num_elements()), 0);
+  for (int e = 0; e < mesh.num_elements(); ++e) {
+    int best = n;
+    for (const std::int32_t node : mesh.element(e)) {
+      best = std::min(best, inv[static_cast<std::size_t>(node)]);
+    }
+    part.element_shard[static_cast<std::size_t>(e)] = part.plan.owner(best);
+  }
+  return part;
+}
+
+}  // namespace vecfd::fem

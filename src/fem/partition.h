@@ -1,0 +1,39 @@
+// vecfd::fem — deterministic mesh partitioner for domain-decomposition
+// sharding (DESIGN.md §9).
+//
+// partition_mesh carves the solve-ordered node range into P contiguous,
+// strip-aligned ownership ranges (solver::strip_bounds) and derives, per
+// shard, the overlap-1 ghost closure from the mesh's node adjacency — the
+// sparsity pattern of the assembled scalar operator, so every column a
+// shard's owned rows reference is locally addressable.  Composes with
+// fem::rcm_ordering through @p perm (perm[new] = old, the same convention
+// as solver::permute_symmetric): ownership and ghosts are computed in the
+// SOLVE ordering, exactly the index space the sharded solver works in.
+//
+// Elements are assigned to the shard owning their lowest solve-ordered
+// node — a deterministic rule that keeps element work aligned with the
+// node ownership the halo volume is priced against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "solver/sharding.h"
+
+namespace vecfd::fem {
+
+struct MeshPartition {
+  solver::ShardPlan plan;
+  std::vector<int> element_shard;  ///< size mesh.num_elements()
+};
+
+/// Partition @p mesh into @p shards subdomains with ownership bounds
+/// aligned to @p quantum (the solver's effective strip).  @p perm is the
+/// solve ordering (perm[new] = old node id); empty means identity.
+/// @throws std::invalid_argument on shards < 1, quantum < 1, or a perm
+/// that is not a permutation of the mesh's nodes.
+MeshPartition partition_mesh(const Mesh& mesh, int shards, int quantum,
+                             std::span<const int> perm = {});
+
+}  // namespace vecfd::fem

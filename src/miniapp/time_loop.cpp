@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "fem/partition.h"
 #include "fem/projection.h"
 #include "solver/vkernels.h"
 
@@ -53,6 +54,9 @@ TimeLoop::TimeLoop(const fem::Mesh& mesh, const Scenario& scenario,
       app_(mesh, state_, make_app_config(cfg)) {
   if (cfg_.steps <= 0) {
     throw std::invalid_argument("TimeLoop: steps must be positive");
+  }
+  if (cfg_.shards < 1) {
+    throw std::invalid_argument("TimeLoop: shards must be positive");
   }
   if (!scen_.initial || !scen_.velocity_bc || !scen_.pressure_pins) {
     throw std::invalid_argument("TimeLoop: scenario is missing hooks");
@@ -140,6 +144,31 @@ void TimeLoop::apply_velocity_bc(std::vector<double>& vel, double t) const {
   }
 }
 
+std::unique_ptr<solver::ShardedCg> TimeLoop::make_sharded(const sim::Vpu& vpu,
+                                                          int slice) const {
+  // Sharding serves the kJacobi rung on vector machines (DESIGN.md §9);
+  // every other combination runs the legacy single-Vpu path, which is the
+  // bit-identical reference anyway.
+  if (cfg_.shards <= 1 || !vpu.config().vector_enabled) return nullptr;
+  if (cfg_.precond != solver::PrecondKind::kJacobi ||
+      !cfg_.pressure.jacobi_precondition) {
+    return nullptr;
+  }
+  try {
+    fem::MeshPartition part = fem::partition_mesh(
+        *mesh_, cfg_.shards, slice,
+        cfg_.rcm_renumber ? std::span<const int>(rcm_perm_)
+                          : std::span<const int>{});
+    return std::make_unique<solver::ShardedCg>(
+        std::move(part.plan), poisson_, vpu.config(), cfg_.vector_size,
+        kPressurePhase, vpu.profiler().num_phases());
+  } catch (const std::runtime_error&) {
+    // Zero operator diagonal: fall back so the legacy path reports the
+    // failure through its instrumented SolveReport exit, bit for bit.
+    return nullptr;
+  }
+}
+
 double TimeLoop::divergence_norm(const std::vector<double>& div) const {
   double s = 0.0;
   for (std::size_t a = 0; a < div.size(); ++a) {
@@ -162,6 +191,20 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
   const int slice_c = solver::solve_effective_strip(vs, vpu.config());
   solver::OperatorMirror dtmass_op;
   dtmass_op.assign(dtmass_, cfg_.format, slice_c);
+
+  // Sharded pressure context (DESIGN.md §9): built fresh per run so the
+  // shard Vpus' memory hierarchies start from a deterministic first-touch
+  // state, null when the configuration falls back to the legacy path.
+  const std::unique_ptr<solver::ShardedCg> sharded = make_sharded(vpu, slice_c);
+  const auto shard_cycles = [&sharded]() {
+    double c = 0.0;
+    if (sharded) {
+      for (int p = 0; p < sharded->shards(); ++p) {
+        c += sharded->shard_vpu(p).counters().total_cycles();
+      }
+    }
+    return c;
+  };
 
   TimeLoopResult res;
   res.steps.reserve(static_cast<std::size_t>(cfg_.steps));
@@ -239,6 +282,7 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
 
   for (int step = 0; step < cfg_.steps; ++step) {
     const double cycles0 = vpu.counters().total_cycles();
+    const double shard_cycles0 = shard_cycles();
     const double t_next = time_ + phys.dt;
     StepReport rep;
     rep.time = t_next;
@@ -377,12 +421,16 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
         // poisson_ was permuted once at construction; marshal b/φ around it
         to_solve_order(b_p, bp_p);
         std::fill(phi_p.begin(), phi_p.end(), 0.0);
-        rep.pressure = solver::vcg(vpu, poisson_, bp_p, phi_p, cfg_.pressure,
-                                   vs, &pressure_ws, cfg_.format);
+        rep.pressure =
+            sharded ? sharded->solve(vpu, bp_p, phi_p, cfg_.pressure)
+                    : solver::vcg(vpu, poisson_, bp_p, phi_p, cfg_.pressure,
+                                  vs, &pressure_ws, cfg_.format);
         from_solve_order(phi_p, phi);
       } else {
-        rep.pressure = solver::vcg(vpu, poisson_, b_p, phi, cfg_.pressure,
-                                   vs, &pressure_ws, cfg_.format);
+        rep.pressure =
+            sharded ? sharded->solve(vpu, b_p, phi, cfg_.pressure)
+                    : solver::vcg(vpu, poisson_, b_p, phi, cfg_.pressure, vs,
+                                  &pressure_ws, cfg_.format);
       }
       res.all_converged &= rep.pressure.converged;
     }
@@ -438,16 +486,32 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     }
 
     time_ = t_next;
-    rep.cycles = vpu.counters().total_cycles() - cycles0;
+    rep.cycles = vpu.counters().total_cycles() - cycles0 + shard_cycles() -
+                 shard_cycles0;
     res.steps.push_back(std::move(rep));
   }
 
+  // Whole-run totals aggregate ALL Vpus — the coordinator plus every shard
+  // — so the conservation invariants (Σ step cycles == run cycles, Σ phase
+  // counters == totals) hold regardless of the shard count.
   res.total = vpu.counters();
   res.phase.resize(kNumInstrumentedPhases + 1);
   for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
     res.phase[p] = vpu.profiler().phase(p);
   }
+  if (sharded) {
+    for (int s = 0; s < sharded->shards(); ++s) {
+      const sim::Vpu& sv = sharded->shard_vpu(s);
+      res.total += sv.counters();
+      for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
+        res.phase[p] += sv.profiler().phase(p);
+      }
+    }
+  }
   res.cycles = res.total.total_cycles();
+  res.pressure_makespan_cycles =
+      sharded ? sharded->makespan_cycles()
+              : res.phase[kPressurePhase].total_cycles();
   return res;
 }
 

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "fem/mesh.h"
@@ -45,6 +46,7 @@
 #include "sim/vpu.h"
 #include "solver/csr.h"
 #include "solver/krylov.h"
+#include "solver/sharding.h"
 
 namespace vecfd::miniapp {
 
@@ -85,6 +87,17 @@ struct TimeLoopConfig {
   /// (fem::structured_aggregates at a fixed block factor of 2, composed
   /// with the RCM permutation when rcm_renumber is set).
   solver::PrecondKind precond = solver::PrecondKind::kJacobi;
+  /// Domain-decomposition shard count of the phase-10 pressure solve
+  /// (DESIGN.md §9).  shards > 1 partitions the solve-ordered node range
+  /// into strip-aligned subdomains (fem::partition_mesh), runs the CG on
+  /// one instrumented Vpu per shard (solver::ShardedCg) and prices ghost
+  /// refreshes through the halo counters.  Fields and residual histories
+  /// are BIT-identical for every shard count; the knob trades the BSP
+  /// makespan and halo-volume counters, not numerics.  The sharded path
+  /// serves the kJacobi rung on vector machines; every other combination
+  /// (scalar machines, cheby/deflate rungs, a zero operator diagonal)
+  /// falls back to the identical-by-construction single-Vpu path.
+  int shards = 1;
 };
 
 /// Per-step convergence and incompressibility diagnostics.
@@ -105,9 +118,15 @@ struct TimeLoopResult {
   std::vector<StepReport> steps;
   bool all_converged = true;  ///< every Krylov solve of every step converged
 
-  sim::Counters total;               ///< whole-run counters
+  sim::Counters total;               ///< whole-run counters (all Vpus)
   std::vector<sim::Counters> phase;  ///< 0..kNumInstrumentedPhases
   double cycles = 0.0;
+  /// Critical-path cycles of the phase-10 pressure solves: the BSP
+  /// makespan of ShardedCg when the sharded path ran, otherwise the
+  /// phase-10 serial cycle total.  THE strong-scaling metric of
+  /// bench/shard_scaling; cycles/total keep counting ALL work (shard
+  /// counters are aggregated in), so conservation still holds.
+  double pressure_makespan_cycles = 0.0;
 };
 
 /// Runs N semi-implicit pressure-projection steps of a Scenario on a
@@ -155,6 +174,12 @@ class TimeLoop {
   std::vector<int> rcm_perm_;               ///< solve index → node
   solver::CsrMatrix mom_perm_;              ///< P·K·Pᵀ pattern + values
   std::vector<std::ptrdiff_t> mom_value_map_;  ///< permuted nnz → K nnz
+
+  /// Builds the sharded pressure context for @p vpu's machine, or null
+  /// when cfg.shards == 1 or the combination falls back to the legacy
+  /// path (scalar machine, non-Jacobi rung, zero operator diagonal).
+  std::unique_ptr<solver::ShardedCg> make_sharded(const sim::Vpu& vpu,
+                                                  int slice) const;
 };
 
 }  // namespace vecfd::miniapp

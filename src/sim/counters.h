@@ -125,7 +125,16 @@ constexpr bool is_instr_class(CounterClass c) {
     "(Vpu::note_coalesced_lanes)")                                            \
   X(pad_lanes, std::uint64_t, kNotInstr, kBoth, "pad_lanes",                  \
     "vgather lanes masked off as storage-format padding: +0.0 and ZERO "     \
-    "cache traffic (pad-hygiene contract, test_sell_format)")
+    "cache traffic (pad-hygiene contract, test_sell_format)")                 \
+  X(halo_lines_sent, std::uint64_t, kNotInstr, kBoth, "halo_lines_sent",      \
+    "distinct owner cache lines read to serve ghost transfers "               \
+    "(sim::HaloExchange, charged on the OWNING shard's Vpu)")                 \
+  X(halo_lines_recv, std::uint64_t, kNotInstr, kBoth, "halo_lines_recv",      \
+    "distinct ghost-slot cache lines written by ghost transfers "             \
+    "(sim::HaloExchange, charged on the RECEIVING shard's Vpu)")              \
+  X(halo_messages, std::uint64_t, kNotInstr, kBoth, "halo_messages",          \
+    "point-to-point ghost-exchange messages: one per (receiver, owner) "      \
+    "pair with a non-empty halo block per exchange")
 // clang-format on
 
 /// Number of registered counters.

@@ -1,0 +1,70 @@
+#include "sim/halo_exchange.h"
+
+#include <stdexcept>
+
+namespace vecfd::sim {
+
+HaloExchange::HaloExchange(std::vector<std::vector<HaloBlock>> blocks_per_shard,
+                           int line_bytes)
+    : plan_(std::move(blocks_per_shard)) {
+  if (line_bytes < 8) {
+    throw std::invalid_argument("HaloExchange: line_bytes must cover a double");
+  }
+  doubles_per_line_ = line_bytes / 8;
+  for (const auto& blocks : plan_) {
+    for (const auto& b : blocks) {
+      if (b.src_shard < 0 || b.src_shard >= shards()) {
+        throw std::invalid_argument("HaloExchange: src_shard out of range");
+      }
+      for (std::size_t i = 1; i < b.src_local.size(); ++i) {
+        if (b.src_local[i] <= b.src_local[i - 1]) {
+          throw std::invalid_argument(
+              "HaloExchange: src_local must be strictly ascending");
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t HaloExchange::lines_of(
+    std::span<const std::int32_t> ascending) const {
+  std::uint64_t lines = 0;
+  std::int32_t last_line = -1;
+  for (const std::int32_t ix : ascending) {
+    const std::int32_t line = ix / static_cast<std::int32_t>(doubles_per_line_);
+    if (lines == 0 || line != last_line) {
+      ++lines;
+      last_line = line;
+    }
+  }
+  return lines;
+}
+
+void HaloExchange::exchange(std::span<Vpu* const> vpus,
+                            std::span<double* const> locals) const {
+  if (static_cast<int>(vpus.size()) != shards() ||
+      static_cast<int>(locals.size()) != shards()) {
+    throw std::invalid_argument("HaloExchange: shard count mismatch");
+  }
+  for (int p = 0; p < shards(); ++p) {
+    for (const auto& b : plan_[static_cast<std::size_t>(p)]) {
+      if (b.src_local.empty()) continue;
+      const double* src = locals[static_cast<std::size_t>(b.src_shard)];
+      double* dst = locals[static_cast<std::size_t>(p)] + b.dst_begin;
+      for (std::size_t i = 0; i < b.src_local.size(); ++i) {
+        dst[i] = src[b.src_local[i]];
+      }
+      // The receiving side writes one contiguous ghost-slot run; its line
+      // count is the span of [dst_begin, dst_begin + count) in lines.
+      const int last = b.dst_begin + static_cast<int>(b.src_local.size()) - 1;
+      const std::uint64_t recv_lines = static_cast<std::uint64_t>(
+          last / doubles_per_line_ - b.dst_begin / doubles_per_line_ + 1);
+      vpus[static_cast<std::size_t>(p)]->note_halo_messages(1);
+      vpus[static_cast<std::size_t>(p)]->note_halo_lines_recv(recv_lines);
+      vpus[static_cast<std::size_t>(b.src_shard)]->note_halo_lines_sent(
+          lines_of(b.src_local));
+    }
+  }
+}
+
+}  // namespace vecfd::sim

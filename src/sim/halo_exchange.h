@@ -1,0 +1,73 @@
+// vecfd::sim — the counted ghost-transfer model for domain-decomposition
+// sharding (DESIGN.md §9).
+//
+// A sharded run gives every subdomain its own Vpu and memory hierarchy;
+// the values a shard reads but does not own (the overlap-1 halo) must be
+// refreshed from their owners before every operator application.  This
+// class is the ONLY sanctioned way to touch those ghost slots inside a
+// measured region (vecfd-lint rule `shard-exchange`, same hazard class as
+// `measured-alloc`): it performs the host-side copies and prices the
+// transfer through the counter registry instead of through instructions —
+//
+//   halo_lines_sent  on the OWNING shard's Vpu: distinct cache lines of
+//                    the owner's local vector read to serve the transfer
+//                    (the scattered-read side of the exchange),
+//   halo_lines_recv  on the RECEIVING shard's Vpu: distinct cache lines
+//                    of the contiguous ghost-slot range written,
+//   halo_messages    on the receiver: one per (receiver, owner) pair with
+//                    a non-empty block, per exchange.
+//
+// Deliberately NO cycles are charged: the prototype models communication
+// volume (the surface term of the surface-to-volume trade the partitioner
+// optimizes), not an interconnect's latency/bandwidth curve.  Line counts
+// are derived from element INDICES at the registry line size, never from
+// host addresses, so they are reproducible across runs and allocators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/vpu.h"
+
+namespace vecfd::sim {
+
+/// One point-to-point transfer: ghost slots [dst_begin, dst_begin+count)
+/// of the receiving shard's local vector are filled from the OWNED prefix
+/// of shard `src_shard`'s local vector at indices `src_local` (ascending).
+struct HaloBlock {
+  int src_shard = 0;
+  int dst_begin = 0;
+  std::vector<std::int32_t> src_local;
+};
+
+class HaloExchange {
+ public:
+  /// @p blocks_per_shard[p] lists the transfers that fill shard p's ghost
+  /// slots; @p line_bytes is the cache-line size the volume model uses
+  /// (the shard memory hierarchy's L1 line).
+  HaloExchange(std::vector<std::vector<HaloBlock>> blocks_per_shard,
+               int line_bytes);
+
+  int shards() const { return static_cast<int>(plan_.size()); }
+  const std::vector<HaloBlock>& blocks(int shard) const {
+    return plan_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Refresh every ghost slot: locals[p] points at shard p's local vector
+  /// (owned prefix followed by ghost slots), vpus[p] is its Vpu.  Copies
+  /// run host-side; the three halo counters are recorded on the owning /
+  /// receiving Vpus as documented above.
+  void exchange(std::span<Vpu* const> vpus,
+                std::span<double* const> locals) const;
+
+  /// Distinct-line count of one ascending index list at this exchange's
+  /// line size (exposed for the Advisor and tests).
+  std::uint64_t lines_of(std::span<const std::int32_t> ascending) const;
+
+ private:
+  std::vector<std::vector<HaloBlock>> plan_;
+  int doubles_per_line_ = 8;
+};
+
+}  // namespace vecfd::sim

@@ -512,6 +512,21 @@ void Vpu::note_pad_lanes(std::uint64_t n) {
   profiler_.phase(profiler_.current()).pad_lanes += n;
 }
 
+void Vpu::note_halo_lines_sent(std::uint64_t n) {
+  total_.halo_lines_sent += n;
+  profiler_.phase(profiler_.current()).halo_lines_sent += n;
+}
+
+void Vpu::note_halo_lines_recv(std::uint64_t n) {
+  total_.halo_lines_recv += n;
+  profiler_.phase(profiler_.current()).halo_lines_recv += n;
+}
+
+void Vpu::note_halo_messages(std::uint64_t n) {
+  total_.halo_messages += n;
+  profiler_.phase(profiler_.current()).halo_messages += n;
+}
+
 void Vpu::sarith(std::uint64_t n) {
   if (n == 0) return;
   Counters& ph = profiler_.phase(profiler_.current());

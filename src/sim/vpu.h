@@ -136,6 +136,14 @@ class Vpu {
   /// Pad lanes skipped by a SCALAR SpMV fallback (vector pads are counted
   /// inside vgather itself).
   void note_pad_lanes(std::uint64_t n);
+  /// Distinct owner cache lines read to serve a ghost transfer out of this
+  /// shard (sim::HaloExchange on the owning shard's Vpu).
+  void note_halo_lines_sent(std::uint64_t n);
+  /// Distinct ghost-slot cache lines written into this shard's local
+  /// vectors by a ghost transfer (HaloExchange on the receiving Vpu).
+  void note_halo_lines_recv(std::uint64_t n);
+  /// Point-to-point ghost-exchange messages received by this shard.
+  void note_halo_messages(std::uint64_t n);
 
   // convenience scalar FP helpers: compute, count one instruction + FLOPs
   double sadd(double a, double b);

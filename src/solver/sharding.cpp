@@ -1,0 +1,445 @@
+#include "solver/sharding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "solver/vkernels.h"
+
+namespace vecfd::solver {
+
+int ShardPlan::owner(int g) const {
+  // Last p with bounds[p] <= g: empty shards share their neighbour's bound
+  // and can never contain g, so upper_bound lands on the real owner.
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), g);
+  int p = static_cast<int>(it - bounds.begin()) - 1;
+  if (p < 0) p = 0;
+  if (p >= shards) p = shards - 1;
+  return p;
+}
+
+int ShardPlan::local_index(int p, int g) const {
+  const std::size_t sp = static_cast<std::size_t>(p);
+  if (g >= bounds[sp] && g < bounds[sp + 1]) return g - bounds[sp];
+  const auto& gh = ghosts[sp];
+  const auto it = std::lower_bound(gh.begin(), gh.end(), g);
+  if (it != gh.end() && *it == g) {
+    return num_owned(p) + static_cast<int>(it - gh.begin());
+  }
+  return -1;
+}
+
+std::vector<int> strip_bounds(int n, int shards, int quantum) {
+  if (n < 0 || shards < 1 || quantum < 1) {
+    throw std::invalid_argument("strip_bounds: need n >= 0, shards >= 1, "
+                                "quantum >= 1");
+  }
+  std::vector<int> b(static_cast<std::size_t>(shards) + 1, 0);
+  for (int p = 1; p < shards; ++p) {
+    // round-half-up of p*n / (shards*quantum), in exact integer arithmetic
+    const long long num = 2LL * p * n + 1LL * shards * quantum;
+    const long long den = 2LL * shards * quantum;
+    long long bp = static_cast<long long>(quantum) * (num / den);
+    if (bp > n) bp = n;
+    if (bp < b[static_cast<std::size_t>(p) - 1]) {
+      bp = b[static_cast<std::size_t>(p) - 1];
+    }
+    b[static_cast<std::size_t>(p)] = static_cast<int>(bp);
+  }
+  b[static_cast<std::size_t>(shards)] = n;
+  return b;
+}
+
+ShardedCg::ShardedCg(ShardPlan plan, const CsrMatrix& a,
+                     const sim::MachineConfig& machine, int strip, int phase,
+                     int num_phases)
+    : plan_(std::move(plan)), phase_(phase) {
+  if (!machine.vector_enabled) {
+    throw std::invalid_argument(
+        "ShardedCg: vector machines only (the scalar dot recurrence is a "
+        "sequential sfma chain and does not decompose over shards)");
+  }
+  strip_ = solve_effective_strip(strip, machine);
+  if (plan_.quantum != strip_) {
+    throw std::invalid_argument(
+        "ShardedCg: plan quantum must equal the effective strip so global "
+        "strips never straddle shards");
+  }
+  if (plan_.size() != a.rows() ||
+      static_cast<int>(plan_.ghosts.size()) != plan_.shards ||
+      static_cast<int>(plan_.bounds.size()) != plan_.shards + 1) {
+    throw std::invalid_argument("ShardedCg: malformed plan");
+  }
+  // Global inverse diagonal FIRST: a zero diagonal throws here, before any
+  // shard state exists, so the caller can fall back to the legacy path and
+  // reproduce its instrumented SolveReport::failure exit bit for bit.
+  const std::vector<double> dinv_global = jacobi_inverse_diagonal(a);
+
+  const int line_bytes = machine.memory.l1.line_bytes;
+  shards_.resize(static_cast<std::size_t>(plan_.shards));
+  std::vector<std::vector<sim::HaloBlock>> blocks(
+      static_cast<std::size_t>(plan_.shards));
+  for (int p = 0; p < plan_.shards; ++p) {
+    Shard& sh = shards_[static_cast<std::size_t>(p)];
+    sh.vpu = std::make_unique<sim::Vpu>(machine, num_phases);
+    sh.rows = plan_.num_owned(p);
+    const int base = plan_.bounds[static_cast<std::size_t>(p)];
+    const std::size_t rows = static_cast<std::size_t>(sh.rows);
+    const std::size_t lsize = static_cast<std::size_t>(plan_.local_size(p));
+    sh.x.assign(lsize, 0.0);
+    sh.p.assign(lsize, 0.0);
+    sh.b.assign(rows, 0.0);
+    sh.r.assign(rows, 0.0);
+    sh.z.assign(rows, 0.0);
+    sh.ap.assign(rows, 0.0);
+    sh.dinv.assign(dinv_global.begin() + base,
+                   dinv_global.begin() + base + sh.rows);
+    sh.partials.reserve(rows == 0 ? 0 : (rows - 1) / strip_ + 1);
+
+    sh.width = 0;
+    for (int r = 0; r < sh.rows; ++r) {
+      sh.width = std::max(
+          sh.width, static_cast<int>(a.row_cols(base + r).size()));
+    }
+    const std::size_t cells = static_cast<std::size_t>(sh.width) * rows;
+    sh.ell_vals.assign(cells, 0.0);
+    sh.ell_cols.assign(cells, -1);  // masked pads, exact fma no-ops
+    for (int r = 0; r < sh.rows; ++r) {
+      const auto cs = a.row_cols(base + r);
+      const auto vs = a.row_vals(base + r);
+      for (std::size_t j = 0; j < cs.size(); ++j) {
+        const int lc = plan_.local_index(p, cs[j]);
+        if (lc < 0) {
+          throw std::invalid_argument(
+              "ShardedCg: matrix column outside the plan's overlap-1 ghost "
+              "closure");
+        }
+        const std::size_t k = j * rows + static_cast<std::size_t>(r);
+        sh.ell_vals[k] = vs[j];
+        sh.ell_cols[k] = lc;
+      }
+    }
+
+    // Ghosts are sorted by global id and ownership ranges ascend, so each
+    // owner's contribution is one contiguous run of the ghost list.
+    const auto& gh = plan_.ghosts[static_cast<std::size_t>(p)];
+    std::size_t i = 0;
+    while (i < gh.size()) {
+      const int owner = plan_.owner(gh[i]);
+      sim::HaloBlock blk;
+      blk.src_shard = owner;
+      blk.dst_begin = sh.rows + static_cast<int>(i);
+      const int src_base = plan_.bounds[static_cast<std::size_t>(owner)];
+      while (i < gh.size() && plan_.owner(gh[i]) == owner) {
+        blk.src_local.push_back(gh[i] - src_base);
+        ++i;
+      }
+      blocks[static_cast<std::size_t>(p)].push_back(std::move(blk));
+    }
+  }
+  halo_ = std::make_unique<sim::HaloExchange>(std::move(blocks), line_bytes);
+  vpu_ptrs_.assign(static_cast<std::size_t>(plan_.shards), nullptr);
+  local_ptrs_.assign(static_cast<std::size_t>(plan_.shards), nullptr);
+  epoch_last_.assign(static_cast<std::size_t>(plan_.shards), 0.0);
+}
+
+void ShardedCg::reset() {
+  for (Shard& sh : shards_) sh.vpu->reset();
+  std::fill(epoch_last_.begin(), epoch_last_.end(), 0.0);
+  makespan_ = 0.0;
+}
+
+void ShardedCg::sync_epoch() {
+  double mx = 0.0;
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    const double now = shards_[p].vpu->counters().total_cycles();
+    const double delta = now - epoch_last_[p];
+    epoch_last_[p] = now;
+    if (delta > mx) mx = delta;
+  }
+  makespan_ += mx;
+}
+
+template <class Fn>
+void ShardedCg::for_shards(Fn&& fn) {
+  core::parallel_for_index(
+      shards_.size(), static_cast<int>(shards_.size()),
+      [&](std::size_t p) { fn(static_cast<int>(p)); });
+  sync_epoch();
+}
+
+double ShardedCg::fold_sum(sim::Vpu& coord) const {
+  // Global strip order: shard partial lists concatenate in shard order
+  // because ownership ranges ascend — the exact sadd recurrence of vdot.
+  double s = 0.0;
+  for (const Shard& sh : shards_) {
+    for (const double part : sh.partials) s = coord.sadd(s, part);
+  }
+  return s;
+}
+
+double ShardedCg::fold_max() const {
+  // NaN-sticky running max over the global strip sequence, mirroring the
+  // vnorm2 rescan combine (host-side there too — no instruction charged).
+  double m = 0.0;
+  for (const Shard& sh : shards_) {
+    for (const double sm : sh.partials) {
+      if (sm > m || std::isnan(sm)) m = sm;
+    }
+  }
+  return m;
+}
+
+void ShardedCg::seg_dot_partials(int p, const double* a, const double* bb,
+                                 int n) {
+  Shard& sh = shards_[static_cast<std::size_t>(p)];
+  sim::Vpu& vpu = *sh.vpu;
+  sim::ScopedPhase scope(vpu.profiler(), phase_);
+  sh.partials.clear();
+  for_strips(vpu, n, strip_, [&](int i, int) {
+    const sim::Vec va = vpu.vload(a + i);
+    const sim::Vec vb = vpu.vload(bb + i);
+    sh.partials.push_back(vpu.vredsum(vpu.vmul(va, vb)));
+  });
+}
+
+void ShardedCg::seg_max_partials(int p, const double* a, int n) {
+  Shard& sh = shards_[static_cast<std::size_t>(p)];
+  sim::Vpu& vpu = *sh.vpu;
+  sim::ScopedPhase scope(vpu.profiler(), phase_);
+  sh.partials.clear();
+  for_strips(vpu, n, strip_, [&](int i, int) {
+    sh.partials.push_back(vpu.vredmax(vpu.vabs(vpu.vload(a + i))));
+    vpu.sarith(1);  // running-max combine, as in the vnorm2 rescan
+  });
+}
+
+void ShardedCg::seg_scaled_partials(int p, const double* a, int n, double m) {
+  Shard& sh = shards_[static_cast<std::size_t>(p)];
+  sim::Vpu& vpu = *sh.vpu;
+  sim::ScopedPhase scope(vpu.profiler(), phase_);
+  sh.partials.clear();
+  for_strips(vpu, n, strip_, [&](int i, int) {
+    const sim::Vec q = vpu.vdiv(vpu.vload(a + i), vpu.vsplat(m));
+    sh.partials.push_back(vpu.vredsum(vpu.vmul(q, q)));
+  });
+}
+
+void ShardedCg::seg_spmv(int p, const double* xloc, double* yloc) {
+  Shard& sh = shards_[static_cast<std::size_t>(p)];
+  sim::Vpu& vpu = *sh.vpu;
+  sim::ScopedPhase scope(vpu.profiler(), phase_);
+  const std::size_t rows = static_cast<std::size_t>(sh.rows);
+  for_strips(vpu, sh.rows, strip_, [&](int i, int) {
+    sim::Vec acc = vpu.vsplat(0.0);
+    for (int j = 0; j < sh.width; ++j) {
+      const std::size_t k =
+          static_cast<std::size_t>(j) * rows + static_cast<std::size_t>(i);
+      const sim::Vec vv = vpu.vload(sh.ell_vals.data() + k);
+      const sim::Vec idx = vpu.vload_i32(sh.ell_cols.data() + k);
+      const sim::Vec xs = vpu.vgather(xloc, idx);
+      acc = vpu.vfma(vv, xs, acc);
+      vpu.sarith(1);  // slab-loop control
+    }
+    vpu.vstore(yloc + i, acc);
+  });
+}
+
+template <class Get>
+double ShardedCg::sharded_norm2(sim::Vpu& coord, Get&& get) {
+  for_shards([&](int p) {
+    seg_dot_partials(p, get(p), get(p),
+                     shards_[static_cast<std::size_t>(p)].rows);
+  });
+  const double s = fold_sum(coord);
+  if (s > kNormSumSqMin && s < kNormSumSqMax) {
+    return coord.ssqrt(s);
+  }
+  for_shards([&](int p) {
+    seg_max_partials(p, get(p), shards_[static_cast<std::size_t>(p)].rows);
+  });
+  const double m = fold_max();
+  if (m == 0.0) return 0.0;
+  if (std::isinf(m)) return m;
+  for_shards([&](int p) {
+    seg_scaled_partials(p, get(p),
+                        shards_[static_cast<std::size_t>(p)].rows, m);
+  });
+  const double ssq = fold_sum(coord);
+  return coord.smul(m, coord.ssqrt(ssq));
+}
+
+template <class Get, class GetB>
+double ShardedCg::sharded_dot(sim::Vpu& coord, Get&& get_a, GetB&& get_b) {
+  for_shards([&](int p) {
+    seg_dot_partials(p, get_a(p), get_b(p),
+                     shards_[static_cast<std::size_t>(p)].rows);
+  });
+  return fold_sum(coord);
+}
+
+void ShardedCg::exchange_into(std::vector<double> Shard::*vec) {
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    vpu_ptrs_[p] = shards_[p].vpu.get();
+    local_ptrs_[p] = (shards_[p].*vec).data();
+    vpu_ptrs_[p]->profiler().begin(phase_);
+  }
+  halo_->exchange(vpu_ptrs_, local_ptrs_);
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    vpu_ptrs_[p]->profiler().end(phase_);
+  }
+}
+
+SolveReport ShardedCg::solve(sim::Vpu& coord, std::span<const double> b,
+                             std::span<double> x, const SolveOptions& opts) {
+  const std::size_t n = b.size();
+  if (static_cast<int>(n) != plan_.size() || x.size() != n) {
+    throw std::invalid_argument("ShardedCg::solve: dimension mismatch");
+  }
+  if (!opts.jacobi_precondition ||
+      opts.precond.kind != PrecondKind::kJacobi) {
+    throw std::invalid_argument(
+        "ShardedCg::solve: only the kJacobi rung is sharded (other rungs "
+        "take the legacy single-Vpu path)");
+  }
+  const double coord0 = coord.counters().total_cycles();
+
+  // Initial owned-data distribution: host-side marshalling, deliberately
+  // uncounted (it is data placement, not halo traffic).
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    Shard& sh = shards_[p];
+    const int base = plan_.bounds[p];
+    std::copy(b.begin() + base, b.begin() + base + sh.rows, sh.b.begin());
+    std::copy(x.begin() + base, x.begin() + base + sh.rows, sh.x.begin());
+  }
+  const auto gather_x = [&]() {
+    for (std::size_t p = 0; p < shards_.size(); ++p) {
+      const Shard& sh = shards_[p];
+      std::copy(sh.x.begin(), sh.x.begin() + sh.rows,
+                x.begin() + plan_.bounds[p]);
+    }
+  };
+  const auto owned = [](std::vector<double>& v, int rows) {
+    return std::span<double>(v.data(), static_cast<std::size_t>(rows));
+  };
+  const auto finish = [&](SolveReport& rep) -> SolveReport& {
+    makespan_ += coord.counters().total_cycles() - coord0;
+    return checked(rep);
+  };
+
+  SolveReport rep;
+  const double bnorm =
+      sharded_norm2(coord, [&](int p) {
+        return shards_[static_cast<std::size_t>(p)].b.data();
+      });
+  if (bnorm == 0.0) {
+    for_shards([&](int p) {
+      Shard& sh = shards_[static_cast<std::size_t>(p)];
+      sim::ScopedPhase scope(sh.vpu->profiler(), phase_);
+      vfill(*sh.vpu, owned(sh.x, sh.rows), 0.0, strip_);
+    });
+    gather_x();
+    rep.converged = true;
+    rep.history.push_back(0.0);
+    return finish(rep);
+  }
+
+  // r = b - A x
+  exchange_into(&Shard::x);
+  for_shards([&](int p) {
+    Shard& sh = shards_[static_cast<std::size_t>(p)];
+    seg_spmv(p, sh.x.data(), sh.ap.data());
+    sim::ScopedPhase scope(sh.vpu->profiler(), phase_);
+    vsub(*sh.vpu, sh.b, owned(sh.ap, sh.rows), owned(sh.r, sh.rows), strip_);
+  });
+  const double rel0 = coord.sdiv(
+      sharded_norm2(coord, [&](int p) {
+        return shards_[static_cast<std::size_t>(p)].r.data();
+      }),
+      bnorm);
+  rep.residual = rel0;
+  rep.history.push_back(rel0);
+  if (rel0 < opts.rel_tolerance) {
+    gather_x();
+    rep.converged = true;
+    return finish(rep);
+  }
+
+  for_shards([&](int p) {
+    Shard& sh = shards_[static_cast<std::size_t>(p)];
+    sim::ScopedPhase scope(sh.vpu->profiler(), phase_);
+    vjacobi_apply(*sh.vpu, sh.dinv, sh.r, owned(sh.z, sh.rows), strip_);
+    vcopy(*sh.vpu, sh.z, owned(sh.p, sh.rows), strip_);
+  });
+  double rz = sharded_dot(
+      coord,
+      [&](int p) { return shards_[static_cast<std::size_t>(p)].r.data(); },
+      [&](int p) { return shards_[static_cast<std::size_t>(p)].z.data(); });
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    exchange_into(&Shard::p);
+    for_shards([&](int p) {
+      Shard& sh = shards_[static_cast<std::size_t>(p)];
+      seg_spmv(p, sh.p.data(), sh.ap.data());
+      seg_dot_partials(p, sh.p.data(), sh.ap.data(), sh.rows);
+    });
+    const double pap = fold_sum(coord);
+    if (pap == 0.0) {
+      // Breakdown exit, mirroring vbreakdown_exit: the aborted iteration
+      // is counted and the true residual appended.
+      const double rel = coord.sdiv(
+          sharded_norm2(coord, [&](int p) {
+            return shards_[static_cast<std::size_t>(p)].r.data();
+          }),
+          bnorm);
+      rep.iterations = it + 1;
+      rep.residual = rel;
+      rep.history.push_back(rel);
+      if (rel < opts.rel_tolerance) rep.converged = true;
+      gather_x();
+      return finish(rep);
+    }
+    const double alpha = coord.sdiv(rz, pap);
+    for_shards([&](int p) {
+      Shard& sh = shards_[static_cast<std::size_t>(p)];
+      sim::ScopedPhase scope(sh.vpu->profiler(), phase_);
+      vaxpy(*sh.vpu, alpha, owned(sh.p, sh.rows), owned(sh.x, sh.rows),
+            strip_);
+      vaxpy(*sh.vpu, -alpha, sh.ap, owned(sh.r, sh.rows), strip_);
+    });
+    const double rel = coord.sdiv(
+        sharded_norm2(coord, [&](int p) {
+          return shards_[static_cast<std::size_t>(p)].r.data();
+        }),
+        bnorm);
+    rep.history.push_back(rel);
+    rep.iterations = it + 1;
+    rep.residual = rel;
+    if (rel < opts.rel_tolerance) {
+      rep.converged = true;
+      gather_x();
+      return finish(rep);
+    }
+    for_shards([&](int p) {
+      Shard& sh = shards_[static_cast<std::size_t>(p)];
+      sim::ScopedPhase scope(sh.vpu->profiler(), phase_);
+      vjacobi_apply(*sh.vpu, sh.dinv, sh.r, owned(sh.z, sh.rows), strip_);
+    });
+    const double rz_new = sharded_dot(
+        coord,
+        [&](int p) { return shards_[static_cast<std::size_t>(p)].r.data(); },
+        [&](int p) { return shards_[static_cast<std::size_t>(p)].z.data(); });
+    const double beta = coord.sdiv(rz_new, rz);
+    rz = rz_new;
+    for_shards([&](int p) {
+      Shard& sh = shards_[static_cast<std::size_t>(p)];
+      sim::ScopedPhase scope(sh.vpu->profiler(), phase_);
+      vxpby(*sh.vpu, sh.z, beta, owned(sh.p, sh.rows), strip_);
+    });
+  }
+  gather_x();
+  return finish(rep);
+}
+
+}  // namespace vecfd::solver

@@ -1,0 +1,50 @@
+// vecfd-lint fixture: shard-exchange CLEAN.
+// Ghost slots refreshed through sim::HaloExchange::exchange, ghost setup
+// before measurement opens, and plain reads are all fine — zero findings.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <span>
+#include <vector>
+
+namespace sim {
+class Vpu;
+class HaloExchange;
+}  // namespace sim
+
+namespace fixture {
+
+double vnorm2(sim::Vpu& vpu, const std::vector<double>& v);
+void exchange(sim::HaloExchange& halo, std::span<sim::Vpu* const> vpus,
+              std::span<double* const> fields);
+
+// Seeding ghost slots BEFORE the first Vpu use is setup, not measurement.
+double good_setup_then_exchange(sim::Vpu& vpu, sim::HaloExchange& halo,
+                                std::vector<double>& ghost_x,
+                                std::span<sim::Vpu* const> vpus,
+                                std::span<double* const> fields) {
+  ghost_x[0] = 0.0;  // pre-measurement seed: allowed
+  double n = vnorm2(vpu, ghost_x);
+  // The sanctioned path: the exchange itself notes the halo counters.
+  exchange(halo, vpus, fields);
+  return n + vnorm2(vpu, ghost_x);
+}
+
+// Reading ghost slots inside the region is what they are for.
+double good_ghost_read(sim::Vpu& vpu, const std::vector<double>& halo_recv) {
+  double n = vnorm2(vpu, halo_recv);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < halo_recv.size(); ++i) {
+    acc += halo_recv[i];  // read, not a store
+  }
+  bool empty = halo_recv[0] == 0.0;  // comparison, not assignment
+  return empty ? n : n + acc;
+}
+
+// Stores into buffers without halo/ghost names are out of scope here
+// (measured-alloc polices allocation churn; plain owned stores are work).
+double good_owned_store(sim::Vpu& vpu, std::vector<double>& owned) {
+  double n = vnorm2(vpu, owned);
+  owned[0] = n;
+  return vnorm2(vpu, owned);
+}
+
+}  // namespace fixture

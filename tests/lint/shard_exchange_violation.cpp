@@ -1,0 +1,43 @@
+// vecfd-lint fixture: shard-exchange VIOLATIONS.
+// Each line tagged EXPECT-FINDING(...) must be reported; nothing else may be.
+// Not compiled — parsed only by tools/vecfd_lint.py --self-test.
+#include <cstring>
+#include <vector>
+
+namespace sim {
+class Vpu;
+}
+
+namespace fixture {
+
+double vnorm2(sim::Vpu& vpu, const std::vector<double>& v);
+
+// The bug shape the rule exists for: hand-copying a remote value into a
+// ghost slot after measurement starts — the transfer never reaches the
+// halo_lines_sent/recv counters, so the volume model undercounts.
+double bad_ghost_store(sim::Vpu& vpu, std::vector<double>& ghost_x,
+                       const std::vector<double>& remote) {
+  double n = vnorm2(vpu, ghost_x);  // first Vpu use: measurement region opens
+  ghost_x[0] = remote[0];  // EXPECT-FINDING(shard-exchange)
+  return n + vnorm2(vpu, ghost_x);
+}
+
+// Accumulating into a halo buffer is the same free transfer.
+double bad_halo_accumulate(sim::Vpu& vpu, std::vector<double>& halo_recv,
+                           const std::vector<double>& remote) {
+  double n = vnorm2(vpu, halo_recv);
+  for (std::size_t i = 0; i < halo_recv.size(); ++i) {
+    halo_recv[i] += remote[i];  // EXPECT-FINDING(shard-exchange)
+  }
+  return n;
+}
+
+// Writes through .data() are still raw ghost-slot stores.
+double bad_ghost_data_store(sim::Vpu& vpu, std::vector<double>& ghosts,
+                            double v) {
+  double n = vnorm2(vpu, ghosts);
+  ghosts.data()[1] = v;  // EXPECT-FINDING(shard-exchange)
+  return n;
+}
+
+}  // namespace fixture

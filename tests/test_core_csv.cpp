@@ -42,11 +42,11 @@ TEST(Csv, HeaderAndRowHaveSameArity) {
   const auto h = split(header);
   const auto r = split(row);
   EXPECT_EQ(h.size(), r.size());
-  // 20 scalar columns (incl. effective_strip, the solve format and the
-  // gather-quality counters) + 11 phases x 3 (8 assembly + momentum solve
-  // + pressure solve + correction), both derived from
-  // miniapp::kNumInstrumentedPhases
-  EXPECT_EQ(h.size(), 20u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  // 23 scalar columns (incl. effective_strip, the solve format, the
+  // gather-quality counters and the halo counters of the sharded solve)
+  // + 11 phases x 3 (8 assembly + momentum solve + pressure solve +
+  // correction), both derived from miniapp::kNumInstrumentedPhases
+  EXPECT_EQ(h.size(), 23u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
   EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
   EXPECT_NE(header.find("scheme,format"), std::string::npos);
   EXPECT_NE(header.find("gather_lines,coalesced_lanes,pad_lanes"),
@@ -99,8 +99,8 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   std::ostringstream os_off;
   vecfd::core::write_measurement_row(os_off, off);
   const auto r_off = split(os_off.str());
-  ASSERT_EQ(r_off.size(), 20u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
-  EXPECT_DOUBLE_EQ(std::stod(r_off[20 + 24]), 0.0);  // ph9_cycles
+  ASSERT_EQ(r_off.size(), 23u + 3u * vecfd::miniapp::kNumInstrumentedPhases);
+  EXPECT_DOUBLE_EQ(std::stod(r_off[23 + 24]), 0.0);  // ph9_cycles
 
   // ...and a --solve run fills them, same arity as the header
   cfg.run_solve = true;
@@ -116,8 +116,8 @@ TEST(Csv, SolveRunPopulatesPhase9Columns) {
   const auto h = split(header);
   const auto r_on = split(row);
   EXPECT_EQ(h.size(), r_on.size());
-  EXPECT_GT(std::stod(r_on[20 + 24]), 0.0);                    // ph9_cycles
-  EXPECT_NEAR(std::stod(r_on[20 + 26]), on.phase_metrics[9].avl, 1e-9);
+  EXPECT_GT(std::stod(r_on[23 + 24]), 0.0);                    // ph9_cycles
+  EXPECT_NEAR(std::stod(r_on[23 + 26]), on.phase_metrics[9].avl, 1e-9);
 }
 
 TEST(Csv, RowCarriesIdentityAndMetrics) {

@@ -1,0 +1,233 @@
+// Partitioner invariants for domain-decomposition sharding (DESIGN.md §9):
+// solver::strip_bounds must produce contiguous quantum-aligned ownership
+// ranges (proof obligation 1 of the ShardedCg P-independence contract —
+// no global strip may straddle a shard), and fem::partition_mesh must
+// derive EXACTLY the overlap-1 ghost closure of the operator sparsity in
+// the solve ordering, so every column a shard's owned rows reference is
+// locally addressable.  The closure is recomputed here independently from
+// Mesh::node_adjacency and compared element-for-element.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "fem/partition.h"
+#include "solver/sharding.h"
+
+namespace {
+
+using namespace vecfd;
+
+// ---------------------------------------------------------------------------
+// strip_bounds
+// ---------------------------------------------------------------------------
+
+TEST(StripBounds, CoreInvariants) {
+  for (const int n : {0, 1, 7, 64, 125, 216, 343, 1000}) {
+    for (const int shards : {1, 2, 3, 4, 8}) {
+      for (const int quantum : {1, 4, 16, 64, 240}) {
+        const auto b = solver::strip_bounds(n, shards, quantum);
+        ASSERT_EQ(b.size(), static_cast<std::size_t>(shards) + 1);
+        EXPECT_EQ(b.front(), 0);
+        EXPECT_EQ(b.back(), n);
+        for (int p = 0; p < shards; ++p) {
+          // Monotone: ownership ranges tile [0, n) without overlap.
+          EXPECT_LE(b[static_cast<std::size_t>(p)],
+                    b[static_cast<std::size_t>(p) + 1])
+              << "n=" << n << " P=" << shards << " q=" << quantum;
+        }
+        for (int p = 1; p < shards; ++p) {
+          // Obligation 1: interior bounds are strip-aligned (a bound
+          // clamped to n coincides with the global tail, which no strip
+          // crosses either).
+          const int bp = b[static_cast<std::size_t>(p)];
+          EXPECT_TRUE(bp % quantum == 0 || bp == n)
+              << "bound " << bp << " n=" << n << " P=" << shards
+              << " q=" << quantum;
+        }
+        for (int p = 0; p < shards; ++p) {
+          // Balance: each shard within one quantum of the ideal share.
+          const int owned = b[static_cast<std::size_t>(p) + 1] -
+                            b[static_cast<std::size_t>(p)];
+          EXPECT_LE(std::abs(owned - n / shards), quantum)
+              << "n=" << n << " P=" << shards << " q=" << quantum;
+        }
+      }
+    }
+  }
+}
+
+TEST(StripBounds, SingleShardOwnsEverything) {
+  const auto b = solver::strip_bounds(343, 1, 240);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[1], 343);
+}
+
+TEST(StripBounds, QuantumLargerThanRangeLeavesEmptyShards) {
+  // A quantum coarser than the whole range cannot split it: all interior
+  // bounds collapse to 0 or n and some shards legitimately own nothing.
+  const int n = 100;
+  const auto b = solver::strip_bounds(n, 4, 512);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), n);
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_TRUE(b[static_cast<std::size_t>(p)] == 0 ||
+                b[static_cast<std::size_t>(p)] == n);
+  }
+}
+
+TEST(StripBounds, ExactDivisionIsExact) {
+  // 256 nodes, 4 shards, quantum 16: the ideal split is representable.
+  const auto b = solver::strip_bounds(256, 4, 16);
+  const std::vector<int> want = {0, 64, 128, 192, 256};
+  EXPECT_EQ(b, want);
+}
+
+// ---------------------------------------------------------------------------
+// partition_mesh
+// ---------------------------------------------------------------------------
+
+/// Independent recomputation of the overlap-1 ghost closure in the solve
+/// ordering: for shard p, every solve-ordered neighbor of an owned node
+/// that p does not own.  @p adj is in ORIGINAL node ids; @p perm maps
+/// solve id -> original id (empty = identity).
+std::vector<int> expected_ghosts(const solver::ShardPlan& plan, int p,
+                                 const std::vector<std::vector<int>>& adj,
+                                 const std::vector<int>& perm) {
+  const int n = plan.size();
+  std::vector<int> inv(static_cast<std::size_t>(n));
+  if (perm.empty()) {
+    for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(i)] = i;
+  } else {
+    for (int i = 0; i < n; ++i)
+      inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  }
+  std::set<int> ghosts;
+  const int lo = plan.bounds[static_cast<std::size_t>(p)];
+  const int hi = plan.bounds[static_cast<std::size_t>(p) + 1];
+  for (int i = lo; i < hi; ++i) {
+    const int orig = perm.empty() ? i : perm[static_cast<std::size_t>(i)];
+    for (const int j_orig : adj[static_cast<std::size_t>(orig)]) {
+      const int j = inv[static_cast<std::size_t>(j_orig)];
+      if (j < lo || j >= hi) ghosts.insert(j);
+    }
+  }
+  return {ghosts.begin(), ghosts.end()};
+}
+
+TEST(PartitionMesh, GhostsAreExactlyTheOverlap1Closure) {
+  const fem::Mesh mesh({.nx = 5, .ny = 5, .nz = 5});
+  const auto adj = mesh.node_adjacency();
+  for (const int shards : {2, 4, 8}) {
+    for (const int quantum : {8, 64}) {
+      const fem::MeshPartition part =
+          fem::partition_mesh(mesh, shards, quantum);
+      ASSERT_EQ(part.plan.shards, shards);
+      ASSERT_EQ(part.plan.size(), mesh.num_nodes());
+      for (int p = 0; p < shards; ++p) {
+        const auto want = expected_ghosts(part.plan, p, adj, {});
+        EXPECT_EQ(part.plan.ghosts[static_cast<std::size_t>(p)], want)
+            << "shard " << p << " of " << shards << " q=" << quantum;
+      }
+    }
+  }
+}
+
+TEST(PartitionMesh, GhostClosureComposesWithRcm) {
+  const fem::Mesh mesh({.nx = 4, .ny = 4, .nz = 4});
+  const auto adj = mesh.node_adjacency();
+  const std::vector<int> perm = fem::rcm_ordering(adj);
+  const fem::MeshPartition part = fem::partition_mesh(mesh, 4, 16, perm);
+  for (int p = 0; p < 4; ++p) {
+    const auto want = expected_ghosts(part.plan, p, adj, perm);
+    EXPECT_EQ(part.plan.ghosts[static_cast<std::size_t>(p)], want)
+        << "shard " << p;
+  }
+}
+
+TEST(PartitionMesh, EveryElementAssignedToLowestNodeOwner) {
+  const fem::Mesh mesh({.nx = 4, .ny = 4, .nz = 4});
+  for (const int shards : {2, 4}) {
+    const fem::MeshPartition part = fem::partition_mesh(mesh, shards, 16);
+    ASSERT_EQ(part.element_shard.size(),
+              static_cast<std::size_t>(mesh.num_elements()));
+    for (int e = 0; e < mesh.num_elements(); ++e) {
+      const auto nodes = mesh.element(e);
+      // Identity solve ordering: the lowest solve-ordered node IS the
+      // lowest node id.
+      int lowest = nodes[0];
+      for (const int n : nodes) lowest = std::min(lowest, n);
+      EXPECT_EQ(part.element_shard[static_cast<std::size_t>(e)],
+                part.plan.owner(lowest))
+          << "element " << e;
+      EXPECT_GE(part.element_shard[static_cast<std::size_t>(e)], 0);
+      EXPECT_LT(part.element_shard[static_cast<std::size_t>(e)], shards);
+    }
+  }
+}
+
+TEST(PartitionMesh, LocalGlobalRoundTrip) {
+  const fem::Mesh mesh({.nx = 4, .ny = 4, .nz = 4});
+  const std::vector<int> perm = fem::rcm_ordering(mesh.node_adjacency());
+  const fem::MeshPartition part = fem::partition_mesh(mesh, 4, 16, perm);
+  const solver::ShardPlan& plan = part.plan;
+  for (int p = 0; p < plan.shards; ++p) {
+    const int lo = plan.bounds[static_cast<std::size_t>(p)];
+    const int hi = plan.bounds[static_cast<std::size_t>(p) + 1];
+    for (int g = lo; g < hi; ++g) {
+      EXPECT_EQ(plan.owner(g), p);
+      EXPECT_EQ(plan.local_index(p, g), g - lo);
+    }
+    const auto& ghosts = plan.ghosts[static_cast<std::size_t>(p)];
+    EXPECT_TRUE(std::is_sorted(ghosts.begin(), ghosts.end()));
+    for (std::size_t k = 0; k < ghosts.size(); ++k) {
+      const int g = ghosts[k];
+      EXPECT_NE(plan.owner(g), p) << "owned node listed as ghost";
+      EXPECT_EQ(plan.local_index(p, g),
+                plan.num_owned(p) + static_cast<int>(k));
+    }
+    // A node that is neither owned nor ghost has no local slot.
+    for (int g = 0; g < plan.size(); ++g) {
+      const bool owned = g >= lo && g < hi;
+      const bool ghost = std::binary_search(ghosts.begin(), ghosts.end(), g);
+      if (!owned && !ghost) {
+        EXPECT_EQ(plan.local_index(p, g), -1);
+      }
+    }
+  }
+}
+
+TEST(PartitionMesh, HaloIsSublinearInOwned) {
+  // Surface-to-volume: on the 1-D strip partition the per-shard ghost set
+  // is one element layer (O(width²)) against an O(width³) owned volume, so
+  // summed ghosts stay well below summed owned nodes.
+  const fem::Mesh mesh({.nx = 6, .ny = 6, .nz = 6});
+  const fem::MeshPartition part = fem::partition_mesh(mesh, 4, 8);
+  int total_ghosts = 0;
+  for (int p = 0; p < 4; ++p) total_ghosts += part.plan.num_ghosts(p);
+  EXPECT_GT(total_ghosts, 0);
+  EXPECT_LT(total_ghosts, mesh.num_nodes());
+}
+
+TEST(PartitionMesh, RejectsInvalidArguments) {
+  const fem::Mesh mesh({.nx = 3, .ny = 3, .nz = 3});
+  EXPECT_THROW(fem::partition_mesh(mesh, 0, 8), std::invalid_argument);
+  EXPECT_THROW(fem::partition_mesh(mesh, 2, 0), std::invalid_argument);
+  // perm of the wrong size is not a permutation of the node range.
+  std::vector<int> short_perm(static_cast<std::size_t>(mesh.num_nodes()) - 1);
+  for (std::size_t i = 0; i < short_perm.size(); ++i)
+    short_perm[i] = static_cast<int>(i);
+  EXPECT_THROW(fem::partition_mesh(mesh, 2, 8, short_perm),
+               std::invalid_argument);
+  // duplicate entry: node 0 mapped twice, node 1 never.
+  std::vector<int> dup(static_cast<std::size_t>(mesh.num_nodes()));
+  for (std::size_t i = 0; i < dup.size(); ++i) dup[i] = static_cast<int>(i);
+  dup[1] = 0;
+  EXPECT_THROW(fem::partition_mesh(mesh, 2, 8, dup), std::invalid_argument);
+}
+
+}  // namespace

@@ -120,11 +120,12 @@ TEST(TransientCampaign, CsvSchemaDerivesFromInstrumentedPhaseCount) {
     return 1 + std::count(line.begin(), line.end(), ',');
   };
   EXPECT_EQ(count_cols(header), count_cols(row));
-  // 20 identity/metric columns (incl. format/rcm/precond and the
-  // gather-quality counters), the ph block, and the 5-column convergence
-  // digest (iterations, divergence, convergence + solver_failures)
+  // 24 identity/metric columns (incl. format/rcm/precond/shards and the
+  // gather-quality + halo counters), the ph block, and the 6-column
+  // convergence digest (iterations, divergence, convergence,
+  // solver_failures + pressure makespan)
   EXPECT_EQ(count_cols(header),
-            20 + 3 * miniapp::kNumInstrumentedPhases + 5);
+            24 + 3 * miniapp::kNumInstrumentedPhases + 6);
   EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
 }
 

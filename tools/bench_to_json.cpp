@@ -158,6 +158,59 @@ Metrics measure_precond_ladder() {
   return m;
 }
 
+/// shard_scaling core (DESIGN.md §9): the domain-decomposed pressure solve
+/// on a fixed 8^3 cavity — BSP makespan and halo volume vs shard count,
+/// plus the surface-to-volume ratio under refinement at fixed P.  The
+/// pressure iteration counts are emitted per P so the baseline itself
+/// documents the P-independence contract (they must all be equal).
+Metrics measure_shard_scaling() {
+  miniapp::Scenario scen = miniapp::scenario_cavity();
+  scen.mesh = {.nx = 8, .ny = 8, .nz = 8};
+  const fem::Mesh mesh(scen.mesh);
+  const int steps = 2;
+  const int vs = 240;
+  Metrics m;
+  double base_makespan = 0.0;
+  for (const int p : {1, 4, 8}) {
+    const auto st = bench::run_transient_point(
+        mesh, scen, platforms::riscv_vec(), vs, steps, /*blocked=*/true,
+        solver::SpmvFormat::kEll, /*rcm=*/false, /*spinup=*/false,
+        solver::PrecondKind::kJacobi, p);
+    char tagbuf[16];
+    std::snprintf(tagbuf, sizeof tagbuf, "p%d", p);
+    const std::string tag = tagbuf;
+    m["makespan_" + tag] = st.pressure_makespan;
+    m["halo_lines_" + tag] = static_cast<double>(st.halo_lines);
+    m["pressure_iters_" + tag] = st.pressure_iterations;
+    if (p == 1) {
+      base_makespan = st.pressure_makespan;
+    } else if (st.pressure_makespan > 0.0) {
+      m["makespan_speedup_" + tag] = base_makespan / st.pressure_makespan;
+    }
+    if (p == 8) {
+      // vecfd-lint: allow(counter-registry) SolveStats field, not Counters
+      m["halo_messages_p8"] = static_cast<double>(st.halo_messages);
+    }
+  }
+  // Surface-to-volume under refinement, 4 shards at a 64-strip quantum
+  // (all subdomains populated on both meshes — see bench/shard_scaling).
+  for (const int nref : {6, 8}) {
+    scen.mesh = {.nx = nref, .ny = nref, .nz = nref};
+    const fem::Mesh rmesh(scen.mesh);
+    const auto st = bench::run_transient_point(
+        rmesh, scen, platforms::riscv_vec(), 64, steps, /*blocked=*/true,
+        solver::SpmvFormat::kEll, /*rcm=*/false, /*spinup=*/false,
+        solver::PrecondKind::kJacobi, 4);
+    const std::string rtag = std::to_string(nref);
+    m["s2v_ratio_" + rtag] =
+        st.p10_gather_lines > 0
+            ? static_cast<double>(st.halo_lines) /
+                  static_cast<double>(st.p10_gather_lines)
+            : 0.0;
+  }
+  return m;
+}
+
 /// --counters-out: every registered counter of one fixed tiny transient
 /// run, emitted in registry order straight from Counters::visit().  The
 /// metric set IS the registry — there is no list here to forget to extend.
@@ -408,6 +461,7 @@ int main(int argc, char** argv) {
   report["multirhs_speedup"] = measure_multirhs();
   report["spmv_format_sweep"] = measure_format_sweep();
   report["precond_ladder"] = measure_precond_ladder();
+  report["shard_scaling"] = measure_shard_scaling();
 
   if (!out_path.empty()) {
     std::ofstream os(out_path);

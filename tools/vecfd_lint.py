@@ -470,6 +470,52 @@ def rule_measured_alloc(src: SourceFile, funcs: list) -> list:
     return findings
 
 
+_HALO_WRITE_RE = re.compile(
+    r"\b(?P<buf>\w*(?:halo|ghost)\w*)\s*"
+    r"(?:\.\s*\w+\s*(?:\(\s*\))?\s*)?"  # .data() / member access
+    r"\[[^\]]*\]\s*(?:[+\-*/|&^]?=)(?!=)"
+)
+_SHARD_EXCHANGE_ALLOWED = ("src/sim/halo_exchange.cpp",)
+
+
+@rule(
+    "shard-exchange",
+    "inside a function taking a Vpu&, no raw store into a halo/ghost-named "
+    "buffer after the first use of the Vpu — ghost slots are refreshed "
+    "only by sim::HaloExchange::exchange, which prices the transfer in "
+    "the halo_lines_sent/recv/halo_messages counters; a raw store moves "
+    "remote data for free and desynchronizes the volume model "
+    "(same measurement-integrity class as measured-alloc)",
+)
+def rule_shard_exchange(src: SourceFile, funcs: list) -> list:
+    if src.path in _SHARD_EXCHANGE_ALLOWED:
+        return []
+    findings = []
+    for fn in funcs:
+        pm = _VPU_PARAM_RE.search(fn.params)
+        if not pm:
+            continue
+        vpu = pm.group(1) or "vpu"
+        body = src.stripped[fn.body_start : fn.body_end]
+        first_use = re.search(rf"\b{re.escape(vpu)}\b", body)
+        if not first_use:
+            continue
+        for m in _HALO_WRITE_RE.finditer(body, first_use.start()):
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.stripped, fn.body_start + m.start()),
+                    "shard-exchange",
+                    f"raw store into ghost/halo buffer `{m.group('buf')}` "
+                    f"inside the measurement region of {fn.name}() (after "
+                    f"first use of Vpu `{vpu}`); ghost slots are written "
+                    "only by sim::HaloExchange::exchange so the transfer "
+                    "is priced in the halo counters",
+                )
+            )
+    return findings
+
+
 _RAW_THREAD_RE = re.compile(
     r"\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|shared_mutex|"
     r"timed_mutex|recursive_timed_mutex|condition_variable(?:_any)?|"
@@ -947,6 +993,7 @@ def rule_determinism_audit(src: SourceFile, funcs: list) -> list:
 _SCAN_EXTS = (".h", ".cpp", ".cc", ".hpp")
 _FILE_RULES = [
     rule_measured_alloc,
+    rule_shard_exchange,
     rule_raw_thread,
     rule_solve_report_history,
     rule_csv_phase_literal,

@@ -54,6 +54,7 @@ struct Options {
   std::string format = "ell";
   bool rcm = false;
   std::string precond = "jacobi";
+  int shards = 1;
   int vs = 240;
   int jobs = 0;  ///< sweep worker threads; 0 = all cores, 1 = serial
   bool sweep = false;
@@ -86,6 +87,10 @@ void usage(std::ostream& os) {
         "  --precond P   jacobi | cheby | deflate — phase-10 pressure\n"
         "                preconditioner rung (transient runs; DESIGN.md\n"
         "                S8)                  (default jacobi)\n"
+        "  --shards N    domain-decomposition shards of the phase-10\n"
+        "                pressure solve (transient runs; DESIGN.md S9) —\n"
+        "                fields are bit-identical for every N, the halo\n"
+        "                and makespan columns change (default 1)\n"
         "  --vs N        VECTOR_SIZE           (default 240)\n"
         "  --sweep       run the paper's full grid {16,64,128,240,256,512}\n"
         "                x {vanilla,vec2,ivec2,vec1} in parallel\n"
@@ -174,6 +179,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return fail(a, "missing value");
       opt.precond = v;
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      const auto n = parse_int(v);
+      if (!n || *n <= 0) {
+        return fail(a, "invalid shard count '" + std::string(v) +
+                           "' (want a positive integer)");
+      }
+      opt.shards = *n;
     } else if (a == "--vs") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -280,6 +294,9 @@ void print_campaign_run(const core::CampaignRun& r) {
             << (r.point.precond != solver::PrecondKind::kJacobi
                     ? std::string("+") + solver::to_string(r.point.precond)
                     : "")
+            << (r.point.shards > 1
+                    ? " / shards=" + std::to_string(r.point.shards)
+                    : "")
             << " / VECTOR_SIZE=" << r.point.vector_size << " / steps="
             << r.point.steps << '\n';
   std::cout << "  cycles=" << core::fmt(r.total_cycles, 0)
@@ -343,12 +360,10 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
     points = camp.grid(machines, miniapp::kStudiedVectorSizes, opts.steps);
     for (auto& p : points) {
       p.opt = level;
-      // --format auto is a PER-MACHINE policy: in a sweep each platform
-      // gets its own recommendation, not the --machine flag's
-      p.format = opts.format == "auto" ? core::recommend_format(p.machine)
-                                       : format;
+      p.format = format;
       p.rcm_renumber = opts.rcm;
       p.precond = precond;
+      p.shards = opts.shards;
     }
   } else {
     core::CampaignPoint p;
@@ -359,7 +374,17 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
     p.format = format;
     p.rcm_renumber = opts.rcm;
     p.precond = precond;
+    p.shards = opts.shards;
     points.push_back(p);
+  }
+  if (opts.format == "auto") {
+    // --format auto is a PER-MACHINE and PER-SHARD policy: each platform
+    // gets its own recommendation (not the --machine flag's), sized by the
+    // rows each shard's Vpu actually streams (DESIGN.md §9).
+    for (auto& p : points) {
+      p.format = core::recommend_format(
+          p.machine, camp.mesh(p.scenario).num_nodes() / p.shards);
+    }
   }
 
   const auto runs = camp.run_points(points, opts.jobs);
@@ -473,6 +498,11 @@ int main(int argc, char** argv) {
     fail("--precond", "requires a transient run (add --steps or --scenario; "
                       "the ladder preconditions the phase-10 pressure "
                       "solve)");
+    return 2;
+  }
+  if (opts.shards != 1 && !opts.transient()) {
+    fail("--shards", "requires a transient run (add --steps or --scenario; "
+                     "sharding decomposes the phase-10 pressure solve)");
     return 2;
   }
 
