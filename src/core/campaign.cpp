@@ -1,11 +1,55 @@
 #include "core/campaign.h"
 
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "miniapp/checkpoint.h"
 #include "sim/vpu.h"
 
 namespace vecfd::core {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+bool degrade_point(CampaignPoint& point) {
+  using solver::PrecondKind;
+  using solver::SpmvFormat;
+  if (point.precond == PrecondKind::kDeflate) {
+    point.precond = PrecondKind::kCheby;
+    return true;
+  }
+  if (point.precond == PrecondKind::kCheby) {
+    point.precond = PrecondKind::kJacobi;
+    return true;
+  }
+  if (point.shards > 1) {
+    point.shards = 1;
+    return true;
+  }
+  if (point.format == SpmvFormat::kSell) {
+    point.format = SpmvFormat::kEll;
+    return true;
+  }
+  if (point.format == SpmvFormat::kEll) {
+    point.format = SpmvFormat::kCsrHost;
+    return true;
+  }
+  return false;
+}
+
+bool attempt_failed(const CampaignRun& run) {
+  return run.solver_failures > 0 || !std::isfinite(run.final_divergence);
+}
 
 Campaign::Campaign(std::vector<miniapp::Scenario> scenarios)
     : scenarios_(std::move(scenarios)) {
@@ -39,6 +83,11 @@ std::vector<CampaignPoint> Campaign::grid(
 }
 
 CampaignRun Campaign::run(const CampaignPoint& point) const {
+  return run(point, RunExtras{});
+}
+
+CampaignRun Campaign::run(const CampaignPoint& point,
+                          const RunExtras& extras) const {
   if (point.scenario < 0 ||
       point.scenario >= static_cast<int>(scenarios_.size())) {
     throw std::out_of_range("Campaign::run: bad scenario index");
@@ -54,8 +103,24 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
   cfg.rcm_renumber = point.rcm_renumber;
   cfg.precond = point.precond;
   cfg.shards = point.shards;
+  cfg.checkpoint_every = extras.checkpoint_every;
+  cfg.fault = extras.fault;
 
   miniapp::TimeLoop loop(mesh(point.scenario), scen, cfg);
+  if (!extras.checkpoint_file.empty()) {
+    const std::uint64_t hash = miniapp::timeloop_config_hash(
+        scen.name, mesh(point.scenario), cfg, point.machine);
+    if (extras.resume && file_exists(extras.checkpoint_file)) {
+      loop.restore(miniapp::load_checkpoint(extras.checkpoint_file), hash);
+    }
+    if (extras.checkpoint_every > 0) {
+      const std::string file = extras.checkpoint_file;
+      loop.set_checkpoint_sink(
+          hash, [file](const miniapp::TimeLoopCheckpoint& c) {
+            miniapp::save_checkpoint(file, c);
+          });
+    }
+  }
   sim::Vpu vpu(point.machine);
 
   CampaignRun run;
@@ -91,8 +156,82 @@ CampaignRun Campaign::run(const CampaignPoint& point) const {
 std::vector<CampaignRun> Campaign::run_points(
     std::span<const CampaignPoint> points, int jobs) const {
   std::vector<CampaignRun> out(points.size());
-  parallel_for_index(points.size(), jobs, [&](std::size_t i) {
-    out[i] = run(points[i]);
+  // Collect-and-continue: a bad point no longer cancels its siblings
+  // mid-flight, so the surviving results are deterministic; the first
+  // error (in point order, not discovery order) still reaches the caller.
+  std::vector<std::exception_ptr> errors =
+      parallel_for_index_collect(points.size(), jobs, [&](std::size_t i) {
+        out[i] = run(points[i]);
+      });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return out;
+}
+
+std::vector<CampaignOutcome> Campaign::run_points_ft(
+    std::span<const CampaignPoint> points, const CampaignFtOptions& opts,
+    int jobs) const {
+  std::vector<CampaignOutcome> out(points.size());
+  parallel_for_index_collect(points.size(), jobs, [&](std::size_t i) {
+    CampaignOutcome& o = out[i];
+    o.requested = points[i];
+    CampaignPoint current = points[i];
+    const int point_index = static_cast<int>(i);
+    const sim::FaultSpec fault =
+        opts.faults != nullptr ? opts.faults->spec_for(point_index)
+                               : sim::FaultSpec{};
+    const bool death =
+        opts.faults != nullptr && opts.faults->worker_death(point_index);
+
+    for (int attempt = 0;; ++attempt) {
+      o.attempts = attempt + 1;
+      bool ran = false;
+      try {
+        if (attempt == 0 && death) {
+          throw std::runtime_error("injected worker death (fault plan)");
+        }
+        RunExtras extras;
+        if (attempt == 0) {
+          // Faults and checkpoints belong to attempt 0 only: retries are
+          // the recovery path and must run clean, and a degraded retry's
+          // config hash would make its checkpoint unloadable by a later
+          // --resume of the requested point.
+          extras.fault = fault;
+          extras.checkpoint_every = opts.checkpoint_every;
+          extras.resume = opts.resume;
+          if (opts.checkpoint_every > 0 && !opts.checkpoint_dir.empty()) {
+            extras.checkpoint_file = opts.checkpoint_dir + "/point_" +
+                                     std::to_string(i) + ".ckpt";
+          }
+        }
+        o.run = run(current, extras);
+        ran = true;
+        o.error.clear();
+      } catch (const std::exception& e) {
+        o.error = e.what();
+      }
+
+      if (ran && !attempt_failed(o.run)) {
+        o.final_status = o.degraded ? "degraded" : "ok";
+        return;
+      }
+      CampaignPoint next = current;
+      if (attempt >= opts.retry.max_retries || !degrade_point(next)) {
+        // Exhausted (or bottom rung already): keep the last real run if
+        // one completed, else synthesize the row identity so the CSV can
+        // still name the point that died.
+        if (!ran && o.run.scenario.empty()) {
+          o.run.scenario =
+              scenarios_[static_cast<std::size_t>(current.scenario)].name;
+          o.run.point = current;
+        }
+        o.final_status = "failed";
+        return;
+      }
+      current = next;
+      o.degraded = true;
+    }
   });
   return out;
 }

@@ -18,6 +18,7 @@
 #include "metrics/metrics.h"
 #include "miniapp/scenarios.h"
 #include "miniapp/time_loop.h"
+#include "sim/fault_injection.h"
 #include "sim/machine_config.h"
 
 namespace vecfd::core {
@@ -74,6 +75,80 @@ struct CampaignRun {
   }
 };
 
+/// Per-run robustness knobs threaded into one Campaign::run invocation:
+/// the planned fault (if any) and the checkpoint protocol.  The default
+/// object is inert — run(point) delegates with RunExtras{} and is
+/// bit-for-bit the historic behaviour.
+struct RunExtras {
+  /// Planned fault for this run (sim/fault_injection.h); fault.armed() ==
+  /// false means a clean run.
+  sim::FaultSpec fault{};
+  /// Epoch cadence forwarded to TimeLoopConfig::checkpoint_every (0 = the
+  /// historic no-checkpoint instruction stream).
+  int checkpoint_every = 0;
+  /// Checkpoint file this run saves to (and resumes from, when `resume`).
+  /// Empty = no sink even if checkpoint_every > 0 (epoch flushes still
+  /// happen — the cadence, not the sink, defines the counter stream).
+  std::string checkpoint_file;
+  /// Restore from `checkpoint_file` before running, if the file exists.
+  /// The checkpoint's config hash must match this point's; a mismatch
+  /// throws rather than silently breaking bit-identity.
+  bool resume = false;
+};
+
+/// Graceful-degradation retry budget for fault-tolerant campaigns.
+struct RetryPolicy {
+  /// Retries after the first attempt (0 = fail immediately, the historic
+  /// behaviour).  Each retry first steps the point down one rung of
+  /// degrade_point()'s ladder.
+  int max_retries = 0;
+};
+
+/// Campaign-level fault-tolerance options (run_points_ft).
+struct CampaignFtOptions {
+  RetryPolicy retry;
+  /// Deterministic fault plan, already materialized for this campaign's
+  /// point count (nullptr = no faults).  Faults fire on attempt 0 only:
+  /// retries are the recovery path and must run clean.
+  const sim::FaultPlan* faults = nullptr;
+  /// Directory for per-point checkpoint files (`point_<i>.ckpt`); empty =
+  /// no checkpointing.  Checkpoints are written on attempt 0 only — a
+  /// degraded retry runs under a different config hash and must not
+  /// overwrite a resumable attempt-0 checkpoint with an unloadable one.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  /// Resume every point from its checkpoint file where one exists.
+  bool resume = false;
+};
+
+/// One fault-tolerant campaign outcome: the final run (possibly from a
+/// degraded point), the originally requested point, and the retry digest
+/// that lands in the campaign CSV (`attempts`, `degraded`,
+/// `final_status`).
+struct CampaignOutcome {
+  CampaignRun run;
+  CampaignPoint requested;
+  int attempts = 0;
+  bool degraded = false;
+  /// "ok" | "degraded" | "failed".
+  std::string final_status;
+  /// Exception text of the final attempt, when that attempt never produced
+  /// a run (e.g. an un-retried worker death).  Empty whenever `run` is
+  /// real — including runs that completed but failed their solves.
+  std::string error;
+};
+
+/// Step @p point one rung down the graceful-degradation ladder, cheapest
+/// robustness concession first: preconditioner deflate → cheby → jacobi,
+/// then shards → 1, then operator format sell → ell → csr-host.  Returns
+/// false when the point is already on the bottom rung everywhere.
+bool degrade_point(CampaignPoint& point);
+
+/// Did a completed run fail?  True on instrumented solver failures or a
+/// non-finite final divergence — NOT on mere non-convergence, which the
+/// campaign CSV already reports per point without failing it.
+bool attempt_failed(const CampaignRun& run);
+
 class Campaign {
  public:
   /// Builds one mesh per scenario up front (campaigns share them
@@ -98,10 +173,25 @@ class Campaign {
   /// Run one point.
   CampaignRun run(const CampaignPoint& point) const;
 
+  /// Run one point with robustness extras: an injected fault and/or the
+  /// checkpoint/resume protocol (see RunExtras).
+  CampaignRun run(const CampaignPoint& point, const RunExtras& extras) const;
+
   /// Run every point, fanning out over @p jobs workers (0 = all cores,
-  /// 1 = serial); results land in point order.
+  /// 1 = serial); results land in point order.  Exceptions no longer
+  /// short-circuit the sweep: every point runs, then the first captured
+  /// exception (in point order) is rethrown.
   std::vector<CampaignRun> run_points(std::span<const CampaignPoint> points,
                                       int jobs = 0) const;
+
+  /// Fault-tolerant sweep: run every point with per-point isolation (a
+  /// throwing point becomes a "failed" outcome, never an exception here),
+  /// injecting @p opts.faults on first attempts and walking the
+  /// degradation ladder on failures up to the retry budget.  Outcomes land
+  /// in point order.
+  std::vector<CampaignOutcome> run_points_ft(
+      std::span<const CampaignPoint> points, const CampaignFtOptions& opts,
+      int jobs = 0) const;
 
  private:
   std::vector<miniapp::Scenario> scenarios_;

@@ -89,11 +89,14 @@ void write_campaign_csv_header(std::ostream& os) {
     os << ",ph" << p << "_cycles,ph" << p << "_mv,ph" << p << "_avl";
   }
   os << ",momentum_iters,pressure_iters,final_div,all_converged,"
-        "solver_failures,pressure_makespan_cycles\n";
+        "solver_failures,pressure_makespan_cycles,"
+        "attempts,degraded,final_status\n";
 }
 
-void write_campaign_row(std::ostream& os, const CampaignRun& r) {
-  const ScopedPrecision prec(os);
+namespace {
+// Everything up to the retry digest: shared by the plain-run writer (which
+// closes the row with the `1,0,ok` defaults) and the outcome writer.
+void write_campaign_row_body(std::ostream& os, const CampaignRun& r) {
   os << r.scenario << ',' << r.point.machine.name << ','
      << to_string(r.point.opt) << ',' << to_string(r.point.format) << ','
      << (r.point.rcm_renumber ? 1 : 0) << ','
@@ -111,12 +114,42 @@ void write_campaign_row(std::ostream& os, const CampaignRun& r) {
   }
   os << ',' << r.momentum_iterations << ',' << r.pressure_iterations << ','
      << r.final_divergence << ',' << (r.all_converged ? 1 : 0) << ','
-     << r.solver_failures << ',' << r.loop.pressure_makespan_cycles << '\n';
+     << r.solver_failures << ',' << r.loop.pressure_makespan_cycles;
+}
+}  // namespace
+
+void write_campaign_row(std::ostream& os, const CampaignRun& r) {
+  const ScopedPrecision prec(os);
+  write_campaign_row_body(os, r);
+  os << ",1,0,ok\n";
+}
+
+void write_campaign_outcome_row(std::ostream& os, const CampaignOutcome& o) {
+  const ScopedPrecision prec(os);
+  if (!o.error.empty()) {
+    // The final attempt never produced a run: keep the row identity (the
+    // same columns, zero-filled through the same registry iteration as a
+    // real row) so downstream plots see the point, not a ragged CSV.
+    CampaignRun zero = o.run;
+    zero.loop.phase.assign(
+        static_cast<std::size_t>(miniapp::kNumInstrumentedPhases) + 1, {});
+    write_campaign_row_body(os, zero);
+  } else {
+    write_campaign_row_body(os, o.run);
+  }
+  os << ',' << o.attempts << ',' << (o.degraded ? 1 : 0) << ','
+     << (o.final_status.empty() ? "ok" : o.final_status) << '\n';
 }
 
 void write_campaign_csv(std::ostream& os, std::span<const CampaignRun> rs) {
   write_campaign_csv_header(os);
   for (const CampaignRun& r : rs) write_campaign_row(os, r);
+}
+
+void write_campaign_csv(std::ostream& os,
+                        std::span<const CampaignOutcome> outcomes) {
+  write_campaign_csv_header(os);
+  for (const CampaignOutcome& o : outcomes) write_campaign_outcome_row(os, o);
 }
 
 }  // namespace vecfd::core

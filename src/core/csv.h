@@ -34,11 +34,23 @@ void write_campaign_csv_header(std::ostream& os);
 /// One CSV row per transient campaign run: scenario, machine, loop shape,
 /// totals, §2.2 metrics, per-phase cycles/Mv/AVL for every instrumented
 /// phase (1..kNumInstrumentedPhases — the same derivation as the sweep
-/// schema) and the convergence digest (Krylov iterations, final projected
-/// divergence).
+/// schema), the convergence digest (Krylov iterations, final projected
+/// divergence) and the retry digest (a plain run writes the
+/// `attempts=1,degraded=0,final_status=ok` defaults).
 void write_campaign_row(std::ostream& os, const CampaignRun& r);
+
+/// One CSV row per fault-tolerant outcome: the same schema, with the real
+/// `attempts`/`degraded`/`final_status` digest.  An outcome whose final
+/// attempt never produced a run (CampaignOutcome::error) still emits a
+/// full-width row — identity columns plus zeros through the same counter
+/// registry iteration — so the CSV never goes ragged.
+void write_campaign_outcome_row(std::ostream& os, const CampaignOutcome& o);
 
 /// Convenience: header + all rows.
 void write_campaign_csv(std::ostream& os, std::span<const CampaignRun> rs);
+
+/// Convenience: header + all outcome rows.
+void write_campaign_csv(std::ostream& os,
+                        std::span<const CampaignOutcome> outcomes);
 
 }  // namespace vecfd::core

@@ -101,4 +101,57 @@ void parallel_for_index(std::size_t count, int jobs, Fn&& fn) {
   error.rethrow_if_set();
 }
 
+/// Collect-all-errors variant: invoke `fn(i)` for every i in [0, count)
+/// like parallel_for_index, but NEVER short-circuit — a throwing index is
+/// captured into its own slot of the returned vector (null = success) and
+/// the remaining indices still run.  Fault-tolerant campaigns
+/// (core/campaign.h run_points_ft) use this so one dead point cannot take
+/// the rest of the sweep down with it; the sweep engine keeps the
+/// first-error semantics above.
+template <class Fn>
+std::vector<std::exception_ptr> parallel_for_index_collect(std::size_t count,
+                                                           int jobs,
+                                                           Fn&& fn) {
+  std::vector<std::exception_ptr> errors(count);
+  if (count == 0) return errors;
+
+  unsigned workers = jobs > 0 ? static_cast<unsigned>(jobs)
+                              : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > count) workers = static_cast<unsigned>(count);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    return errors;
+  }
+
+  std::atomic<std::size_t> next{0};
+
+  // Each worker writes only errors[i] for indices it claimed, so the slots
+  // need no lock; the joins below publish them to the spawning thread.
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return errors;
+}
+
 }  // namespace vecfd::core

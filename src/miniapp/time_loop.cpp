@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <stdexcept>
+#include <utility>
 
 #include "fem/partition.h"
 #include "fem/projection.h"
+#include "miniapp/checkpoint.h"
 #include "solver/vkernels.h"
 
 namespace vecfd::miniapp {
@@ -31,6 +34,18 @@ void impose_dirichlet_rows(solver::CsrMatrix& a,
     for (std::size_t k = 0; k < cols.size(); ++k) {
       vals[k] = cols[k] == r ? 1.0 : 0.0;
     }
+  }
+}
+
+/// zero-diag fault (sim/fault_injection.h): knock out the first diagonal
+/// entry of the momentum operator AFTER the Dirichlet pass, so the Jacobi
+/// setup of every component solve exits through its instrumented
+/// SolveReport::failure path.
+void inject_zero_diagonal(solver::CsrMatrix& a) {
+  const auto cols = a.row_cols(0);
+  const auto vals = a.row_vals(0);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == 0) vals[k] = 0.0;
   }
 }
 
@@ -169,6 +184,55 @@ std::unique_ptr<solver::ShardedCg> TimeLoop::make_sharded(const sim::Vpu& vpu,
   }
 }
 
+void TimeLoop::set_checkpoint_sink(
+    std::uint64_t config_hash,
+    std::function<void(const TimeLoopCheckpoint&)> sink) {
+  ckpt_hash_ = config_hash;
+  ckpt_sink_ = std::move(sink);
+}
+
+void TimeLoop::restore(const TimeLoopCheckpoint& checkpoint,
+                       std::uint64_t expected_hash) {
+  if (checkpoint.config_hash != expected_hash) {
+    throw std::runtime_error(
+        "TimeLoop::restore: checkpoint config hash mismatch (written under "
+        "a different scenario/config/machine — resuming would break the "
+        "bit-identity contract)");
+  }
+  if (checkpoint.next_step < 0 ||
+      checkpoint.next_step > static_cast<std::int64_t>(cfg_.steps)) {
+    throw std::runtime_error(
+        "TimeLoop::restore: checkpoint step cursor out of range");
+  }
+  if (checkpoint.unknowns.size() != state_.unknowns().size() ||
+      checkpoint.unknowns_old.size() != state_.unknowns_old().size()) {
+    throw std::runtime_error(
+        "TimeLoop::restore: field size mismatch (different mesh?)");
+  }
+  if (checkpoint.step_reports.size() !=
+      static_cast<std::size_t>(checkpoint.next_step)) {
+    throw std::runtime_error(
+        "TimeLoop::restore: step report count disagrees with the cursor");
+  }
+  if (checkpoint.phase_counters.size() !=
+      static_cast<std::size_t>(kNumInstrumentedPhases) + 1) {
+    throw std::runtime_error(
+        "TimeLoop::restore: per-phase counter count mismatch");
+  }
+
+  std::copy(checkpoint.unknowns.begin(), checkpoint.unknowns.end(),
+            state_.unknowns().begin());
+  std::copy(checkpoint.unknowns_old.begin(), checkpoint.unknowns_old.end(),
+            state_.unknowns_old().begin());
+  time_ = checkpoint.time;
+  start_step_ = static_cast<int>(checkpoint.next_step);
+  carried_steps_ = checkpoint.step_reports;
+  carried_total_ = checkpoint.total_counters;
+  carried_phase_ = checkpoint.phase_counters;
+  carried_makespan_ = checkpoint.pressure_makespan_cycles;
+  carried_converged_ = checkpoint.all_converged;
+}
+
 double TimeLoop::divergence_norm(const std::vector<double>& div) const {
   double s = 0.0;
   for (std::size_t a = 0; a < div.size(); ++a) {
@@ -206,8 +270,21 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     return c;
   };
 
+  // Consume the restore() carry-over.  All of it is empty/zero unless
+  // restore() seeded it, so the default path aggregates exactly as before
+  // (bit-for-bit: golden CSVs and BENCH baselines are unchanged).
+  // Mutable: the epoch folds below grow the base at every flush boundary.
+  const int first_step = std::exchange(start_step_, 0);
+  sim::Counters carried_total = std::exchange(carried_total_, {});
+  std::vector<sim::Counters> carried_phase = std::move(carried_phase_);
+  carried_phase_.clear();
+  double carried_makespan = std::exchange(carried_makespan_, 0.0);
+
   TimeLoopResult res;
+  res.steps = std::move(carried_steps_);
+  carried_steps_.clear();
   res.steps.reserve(static_cast<std::size_t>(cfg_.steps));
+  res.all_converged = std::exchange(carried_converged_, true);
 
   // Everything the Vpu touches is allocated once, before the first step,
   // and reused in place: the deterministic memory model renames host lines
@@ -280,7 +357,7 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     }
   };
 
-  for (int step = 0; step < cfg_.steps; ++step) {
+  for (int step = first_step; step < cfg_.steps; ++step) {
     const double cycles0 = vpu.counters().total_cycles();
     const double shard_cycles0 = shard_cycles();
     const double t_next = time_ + phys.dt;
@@ -312,6 +389,9 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     }
     k_bc = ar.matrix;
     impose_dirichlet_rows(k_bc, fixed);
+    if (cfg_.fault.fires(sim::FaultKind::kZeroDiagonal, step)) {
+      inject_zero_diagonal(k_bc);
+    }
     k_op.assign(ar.matrix, cfg_.format, slice_c);
 
     // ---- phase 9: blocked multi-RHS momentum BiCGStab ------------------
@@ -410,9 +490,28 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
       }
     }
     fem::assemble_weak_divergence_into(*mesh_, shape, vel_now, div);
+    if (cfg_.fault.fires(sim::FaultKind::kNanRhs, step)) {
+      // nan-rhs fault: poison the host-assembled divergence, so NaN must
+      // travel the full b_p → solve → correction → diagnostics pipeline.
+      std::fill(div.begin(), div.end(),
+                std::numeric_limits<double>::quiet_NaN());
+    }
     rep.div_before = divergence_norm(div);
     {
       sim::ScopedPhase scope(vpu.profiler(), kPressurePhase);
+      // breakdown fault: a copy of the pressure options with the injection
+      // armed, routed through the legacy vcg — its instrumented failure
+      // exit is the one the sharded path falls back to anyway.
+      const bool inject_breakdown =
+          cfg_.fault.fires(sim::FaultKind::kSolverBreakdown, step);
+      solver::SolveOptions popts_injected;
+      if (inject_breakdown) {
+        popts_injected = cfg_.pressure;
+        popts_injected.inject_breakdown = true;
+      }
+      const solver::SolveOptions& popts =
+          inject_breakdown ? popts_injected : cfg_.pressure;
+      const bool use_sharded = sharded != nullptr && !inject_breakdown;
       solver::vfill(vpu, b_p, 0.0, vs);
       solver::vaxpy(vpu, -rho_dt, div, b_p, vs);  // b = −(ρ/Δt)·D u*
       for (int r : pressure_pins_) b_p[static_cast<std::size_t>(r)] = 0.0;
@@ -422,15 +521,15 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
         to_solve_order(b_p, bp_p);
         std::fill(phi_p.begin(), phi_p.end(), 0.0);
         rep.pressure =
-            sharded ? sharded->solve(vpu, bp_p, phi_p, cfg_.pressure)
-                    : solver::vcg(vpu, poisson_, bp_p, phi_p, cfg_.pressure,
-                                  vs, &pressure_ws, cfg_.format);
+            use_sharded ? sharded->solve(vpu, bp_p, phi_p, popts)
+                        : solver::vcg(vpu, poisson_, bp_p, phi_p, popts,
+                                      vs, &pressure_ws, cfg_.format);
         from_solve_order(phi_p, phi);
       } else {
         rep.pressure =
-            sharded ? sharded->solve(vpu, b_p, phi, cfg_.pressure)
-                    : solver::vcg(vpu, poisson_, b_p, phi, cfg_.pressure, vs,
-                                  &pressure_ws, cfg_.format);
+            use_sharded ? sharded->solve(vpu, b_p, phi, popts)
+                        : solver::vcg(vpu, poisson_, b_p, phi, popts, vs,
+                                      &pressure_ws, cfg_.format);
       }
       res.all_converged &= rep.pressure.converged;
     }
@@ -489,15 +588,101 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
     rep.cycles = vpu.counters().total_cycles() - cycles0 + shard_cycles() -
                  shard_cycles0;
     res.steps.push_back(std::move(rep));
+
+    // Epoch boundary of the checkpoint/restart protocol (DESIGN.md §10):
+    // capture the accumulated state for the sink, then drain the machine —
+    // every hierarchy flushed, canonical first-touch map forgotten — so
+    // the next epoch starts exactly like a restarted process would.  The
+    // final boundary (done == steps) captures without flushing, so a
+    // completed point replays identically under --resume.
+    const int done = step + 1;
+    if (cfg_.checkpoint_every > 0 &&
+        (done % cfg_.checkpoint_every == 0 || done == cfg_.steps)) {
+      if (ckpt_sink_) {
+        TimeLoopCheckpoint c;
+        c.config_hash = ckpt_hash_;
+        c.next_step = done;
+        c.time = time_;
+        c.unknowns.assign(state_.unknowns().begin(),
+                          state_.unknowns().end());
+        c.unknowns_old.assign(state_.unknowns_old().begin(),
+                              state_.unknowns_old().end());
+        c.step_reports = res.steps;
+        c.total_counters = carried_total;
+        c.total_counters += vpu.counters();
+        c.phase_counters.resize(
+            static_cast<std::size_t>(kNumInstrumentedPhases) + 1);
+        for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
+          c.phase_counters[static_cast<std::size_t>(p)] =
+              vpu.profiler().phase(p);
+          if (static_cast<std::size_t>(p) < carried_phase.size()) {
+            c.phase_counters[static_cast<std::size_t>(p)] +=
+                carried_phase[static_cast<std::size_t>(p)];
+          }
+        }
+        if (sharded) {
+          for (int s = 0; s < sharded->shards(); ++s) {
+            const sim::Vpu& sv = sharded->shard_vpu(s);
+            c.total_counters += sv.counters();
+            for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
+              c.phase_counters[static_cast<std::size_t>(p)] +=
+                  sv.profiler().phase(p);
+            }
+          }
+        }
+        c.all_converged = res.all_converged;
+        c.pressure_makespan_cycles =
+            sharded ? carried_makespan + sharded->makespan_cycles()
+                    : c.phase_counters[kPressurePhase].total_cycles();
+        ckpt_sink_(c);
+      }
+      if (done < cfg_.steps && done % cfg_.checkpoint_every == 0) {
+        // Drain the machine INTO the carried base — same aggregation order
+        // as the final totals (coordinator, then shards) — then reset it
+        // outright.  Folding whole-epoch subtotals instead of letting one
+        // accumulator run across epochs keeps the double-typed cycle
+        // counters associating identically in the uninterrupted and the
+        // resumed run, so the restart is bit-identical down to the last
+        // ulp; the reset leaves caches cold and the first-touch map
+        // forgotten, exactly like the restarted process the next epoch
+        // must be indistinguishable from.
+        carried_phase.resize(static_cast<std::size_t>(kNumInstrumentedPhases) +
+                             1);
+        carried_total += vpu.counters();
+        for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
+          carried_phase[static_cast<std::size_t>(p)] +=
+              vpu.profiler().phase(p);
+        }
+        if (sharded) {
+          for (int s = 0; s < sharded->shards(); ++s) {
+            const sim::Vpu& sv = sharded->shard_vpu(s);
+            carried_total += sv.counters();
+            for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
+              carried_phase[static_cast<std::size_t>(p)] +=
+                  sv.profiler().phase(p);
+            }
+          }
+          carried_makespan += sharded->makespan_cycles();
+          sharded->reset();
+        }
+        vpu.reset();
+      }
+    }
   }
 
   // Whole-run totals aggregate ALL Vpus — the coordinator plus every shard
   // — so the conservation invariants (Σ step cycles == run cycles, Σ phase
-  // counters == totals) hold regardless of the shard count.
-  res.total = vpu.counters();
+  // counters == totals) hold regardless of the shard count.  A resumed run
+  // seeds the totals with the carried pre-restart counters; a fresh run
+  // carries zeros, so the default path is unchanged.
+  res.total = carried_total;
+  res.total += vpu.counters();
   res.phase.resize(kNumInstrumentedPhases + 1);
   for (int p = 0; p <= kNumInstrumentedPhases; ++p) {
     res.phase[p] = vpu.profiler().phase(p);
+    if (static_cast<std::size_t>(p) < carried_phase.size()) {
+      res.phase[p] += carried_phase[static_cast<std::size_t>(p)];
+    }
   }
   if (sharded) {
     for (int s = 0; s < sharded->shards(); ++s) {
@@ -510,7 +695,7 @@ TimeLoopResult TimeLoop::run(sim::Vpu& vpu) {
   }
   res.cycles = res.total.total_cycles();
   res.pressure_makespan_cycles =
-      sharded ? sharded->makespan_cycles()
+      sharded ? carried_makespan + sharded->makespan_cycles()
               : res.phase[kPressurePhase].total_cycles();
   return res;
 }

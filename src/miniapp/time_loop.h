@@ -35,6 +35,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,12 +45,15 @@
 #include "miniapp/config.h"
 #include "miniapp/driver.h"
 #include "miniapp/scenarios.h"
+#include "sim/fault_injection.h"
 #include "sim/vpu.h"
 #include "solver/csr.h"
 #include "solver/krylov.h"
 #include "solver/sharding.h"
 
 namespace vecfd::miniapp {
+
+struct TimeLoopCheckpoint;  // miniapp/checkpoint.h
 
 struct TimeLoopConfig {
   int steps = 5;
@@ -98,6 +103,23 @@ struct TimeLoopConfig {
   /// (scalar machines, cheby/deflate rungs, a zero operator diagonal)
   /// falls back to the identical-by-construction single-Vpu path.
   int shards = 1;
+  /// Epoch length of the checkpoint/restart protocol (miniapp/checkpoint.h,
+  /// DESIGN.md §10).  N > 0 makes every N-th step boundary a MEASURED
+  /// EVENT: the accumulated state is captured (and handed to the sink, if
+  /// one is set) and every memory hierarchy is flushed — caches cold,
+  /// canonical first-touch map forgotten — so each epoch's counter stream
+  /// is a pure function of the bit-identical fields and a restarted
+  /// process reproduces it exactly.  Fields and residual histories are
+  /// bit-identical across ALL cadences (the cache model is tag-only); the
+  /// counter stream is bit-identical per cadence.  0 (default) leaves the
+  /// historic stream untouched.
+  int checkpoint_every = 0;
+  /// Deterministic fault injected into THIS run (sim/fault_injection.h):
+  /// breakdown fails the phase-10 solve through its instrumented failure
+  /// exit, nan-rhs poisons the weak-divergence RHS host-side, zero-diag
+  /// zeroes the first momentum diagonal after the Dirichlet pass.  The
+  /// default spec is disarmed and injects nothing.
+  sim::FaultSpec fault{};
 };
 
 /// Per-step convergence and incompressibility diagnostics.
@@ -145,8 +167,27 @@ class TimeLoop {
   double time() const { return time_; }
 
   /// Advance cfg.steps steps on @p vpu.  Resets the machine first; calling
-  /// run() again continues from the current fields and time.
+  /// run() again continues from the current fields and time.  After
+  /// restore(), the next run() executes only the remaining steps and
+  /// returns the SAME TimeLoopResult (steps, counters, histories, bit for
+  /// bit) as the uninterrupted run with the same checkpoint cadence.
   TimeLoopResult run(sim::Vpu& vpu);
+
+  /// Arm checkpoint capture: with cfg.checkpoint_every = N > 0, @p sink
+  /// receives the accumulated state at every N-th step boundary and once
+  /// more at run completion (so a finished point replays identically under
+  /// --resume).  @p config_hash is stamped into every checkpoint and
+  /// verified by restore() — compute it with timeloop_config_hash().
+  void set_checkpoint_sink(
+      std::uint64_t config_hash,
+      std::function<void(const TimeLoopCheckpoint&)> sink);
+
+  /// Rewind this (freshly constructed) loop to a checkpoint: fields, time,
+  /// step cursor and the carried reports/counters.  The next run() resumes
+  /// from checkpoint.next_step.  @throws std::runtime_error on a config
+  /// hash mismatch or a checkpoint that does not fit this loop's shape.
+  void restore(const TimeLoopCheckpoint& checkpoint,
+               std::uint64_t expected_hash);
 
  private:
   void apply_velocity_bc(std::vector<double>& vel, double t) const;
@@ -180,6 +221,19 @@ class TimeLoop {
   /// path (scalar machine, non-Jacobi rung, zero operator diagonal).
   std::unique_ptr<solver::ShardedCg> make_sharded(const sim::Vpu& vpu,
                                                   int slice) const;
+
+  // Checkpoint/restart state (miniapp/checkpoint.h).  The carried_* members
+  // hold the pre-restore accumulation (steps, counters, makespan) and are
+  // consumed by the next run(); they stay empty/zero unless restore() was
+  // called, so the default path aggregates exactly as before.
+  std::uint64_t ckpt_hash_ = 0;
+  std::function<void(const TimeLoopCheckpoint&)> ckpt_sink_;
+  int start_step_ = 0;
+  std::vector<StepReport> carried_steps_;
+  sim::Counters carried_total_;
+  std::vector<sim::Counters> carried_phase_;
+  double carried_makespan_ = 0.0;
+  bool carried_converged_ = true;
 };
 
 }  // namespace vecfd::miniapp

@@ -198,6 +198,17 @@ struct Counters {
 #undef VECFD_COUNTER_VISIT
   }
 
+  /// Mutable overload: fn(CounterInfo, T&).  This is what deserializers
+  /// iterate (miniapp/checkpoint.cpp) so a counter registered here is
+  /// round-tripped through the checkpoint format automatically.
+  template <class Fn>
+  constexpr void visit(Fn&& fn) {
+#define VECFD_COUNTER_VISIT(name, type, cls, csv, col, doc)               \
+    fn(CounterInfo{#name, CounterClass::cls, CounterCsv::csv, col}, name);
+    VECFD_COUNTERS(VECFD_COUNTER_VISIT)
+#undef VECFD_COUNTER_VISIT
+  }
+
   /// Visit two instances in lockstep: fn(CounterInfo, const T&, const T&).
   /// The conservation test compares Σphases against totals through this,
   /// so a new counter is covered the moment it enters the registry.

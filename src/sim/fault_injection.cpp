@@ -1,0 +1,187 @@
+#include "sim/fault_injection.h"
+
+#include <stdexcept>
+
+namespace vecfd::sim {
+
+namespace {
+
+/// splitmix64 (Steele/Lea/Flood): the canonical seed-expansion mixer.  A
+/// full-period bijection of the 64-bit state, so distinct draw indices
+/// never collide and the fault stream is a pure function of the seed.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("fault plan: '" + token + "': " + why);
+}
+
+FaultKind kind_from_string(const std::string& name, const std::string& token) {
+  if (name == "breakdown") return FaultKind::kSolverBreakdown;
+  if (name == "nan-rhs") return FaultKind::kNanRhs;
+  if (name == "zero-diag") return FaultKind::kZeroDiagonal;
+  if (name == "worker-death") return FaultKind::kWorkerDeath;
+  bad_spec(token, "unknown fault kind '" + name +
+                      "' (want breakdown, nan-rhs, zero-diag or "
+                      "worker-death)");
+}
+
+/// Strict non-negative integer parse of a spec field.
+int parse_index(const std::string& s, const std::string& token,
+                const char* what) {
+  if (s.empty()) bad_spec(token, std::string("missing ") + what);
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      bad_spec(token, std::string("invalid ") + what + " '" + s +
+                          "' (want a non-negative integer)");
+    }
+    v = v * 10 + (c - '0');
+    if (v > 1'000'000'000L) bad_spec(token, std::string(what) + " too large");
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& token,
+                        const char* what) {
+  if (s.empty()) bad_spec(token, std::string("missing ") + what);
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      bad_spec(token, std::string("invalid ") + what + " '" + s +
+                          "' (want a non-negative integer)");
+    }
+    v = v * 10u + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) bad_spec(spec, "empty plan");
+
+  if (spec.rfind("seed=", 0) == 0) {
+    // "seed=<u64>[:faults=<n>]"
+    const std::size_t colon = spec.find(':');
+    const std::string seed_str = spec.substr(5, colon == std::string::npos
+                                                    ? std::string::npos
+                                                    : colon - 5);
+    plan.seed_ = parse_u64(seed_str, spec, "seed");
+    if (colon != std::string::npos) {
+      const std::string rest = spec.substr(colon + 1);
+      if (rest.rfind("faults=", 0) != 0) {
+        bad_spec(spec, "expected 'faults=<n>' after the seed");
+      }
+      plan.seed_faults_ = parse_index(rest.substr(7), spec, "fault count");
+      if (plan.seed_faults_ <= 0) {
+        bad_spec(spec, "fault count must be positive");
+      }
+    }
+    return plan;
+  }
+
+  // explicit entries: kind@point[.step] joined with ';'
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string entry =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) bad_spec(spec, "empty entry");
+
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos) {
+      bad_spec(entry, "expected kind@point[.step]");
+    }
+    PlannedFault f;
+    f.kind = kind_from_string(entry.substr(0, at), entry);
+    const std::string loc = entry.substr(at + 1);
+    const std::size_t dot = loc.find('.');
+    f.point = parse_index(loc.substr(0, dot), entry, "point index");
+    if (dot != std::string::npos) {
+      f.step = parse_index(loc.substr(dot + 1), entry, "step index");
+    }
+    plan.faults_.push_back(f);
+  }
+  return plan;
+}
+
+void FaultPlan::materialize(int num_points, int steps) {
+  if (!seed_.has_value()) return;
+  if (num_points <= 0 || steps <= 0) {
+    throw std::invalid_argument(
+        "fault plan: materialize needs a positive campaign shape");
+  }
+  faults_.clear();
+  faults_.reserve(static_cast<std::size_t>(seed_faults_));
+  constexpr FaultKind kDrawableKinds[] = {
+      FaultKind::kSolverBreakdown, FaultKind::kNanRhs,
+      FaultKind::kZeroDiagonal, FaultKind::kWorkerDeath};
+  for (int i = 0; i < seed_faults_; ++i) {
+    const std::uint64_t h =
+        splitmix64(*seed_ + static_cast<std::uint64_t>(i));
+    PlannedFault f;
+    f.kind = kDrawableKinds[h % 4u];
+    f.point = static_cast<int>((h >> 8) %
+                               static_cast<std::uint64_t>(num_points));
+    f.step =
+        static_cast<int>((h >> 40) % static_cast<std::uint64_t>(steps));
+    faults_.push_back(f);
+  }
+  seed_.reset();
+}
+
+FaultSpec FaultPlan::spec_for(int point) const {
+  if (seed_.has_value()) {
+    throw std::logic_error(
+        "fault plan: spec_for on an unmaterialized seeded plan (call "
+        "materialize(num_points, steps) first)");
+  }
+  for (const PlannedFault& f : faults_) {
+    if (f.point == point && f.kind != FaultKind::kWorkerDeath &&
+        f.kind != FaultKind::kNone) {
+      return FaultSpec{f.kind, f.step};
+    }
+  }
+  return {};
+}
+
+bool FaultPlan::worker_death(int point) const {
+  if (seed_.has_value()) {
+    throw std::logic_error(
+        "fault plan: worker_death on an unmaterialized seeded plan (call "
+        "materialize(num_points, steps) first)");
+  }
+  for (const PlannedFault& f : faults_) {
+    if (f.point == point && f.kind == FaultKind::kWorkerDeath) return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::describe() const {
+  if (seed_.has_value()) {
+    return "seed=" + std::to_string(*seed_) +
+           ":faults=" + std::to_string(seed_faults_);
+  }
+  std::string out;
+  for (const PlannedFault& f : faults_) {
+    if (!out.empty()) out += ';';
+    out += to_string(f.kind);
+    out += '@';
+    out += std::to_string(f.point);
+    if (f.kind != FaultKind::kWorkerDeath) {
+      out += '.';
+      out += std::to_string(f.step);
+    }
+  }
+  return out;
+}
+
+}  // namespace vecfd::sim

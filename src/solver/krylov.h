@@ -74,6 +74,12 @@ struct SolveOptions {
   bool jacobi_precondition = true;
   /// Which ladder rung to run when preconditioning is enabled.
   PrecondOptions precond;
+  /// Deterministic fault hook (sim/fault_injection.h): when set, the
+  /// instrumented vcg fails immediately through its regular failure exit —
+  /// same instrumented true-residual path a genuine Krylov breakdown takes
+  /// — so campaigns can rehearse the retry ladder on demand.  Never set by
+  /// production configs.
+  bool inject_breakdown = false;
 };
 
 /// Reporting contract, honoured on EVERY exit path of every solver in this

@@ -935,6 +935,14 @@ SolveReport vcg(sim::Vpu& vpu, const CsrMatrix& a, std::span<const double> b,
   z.assign(n, 0.0);
   p.assign(n, 0.0);
   ap.assign(n, 0.0);
+  // Fault-plan hook (sim/fault_injection.h): fail through the regular
+  // instrumented failure exit, so the report carries the true residual of
+  // the untouched iterate exactly like a genuine breakdown would.
+  if (opts.inject_breakdown) {
+    return checked(vfailure_exit(vpu, rep,
+                                 "injected solver breakdown (fault plan)", op,
+                                 b, x, r, bnorm, opts, strip));
+  }
   // The ladder rung (solver/preconditioner.h).  kJacobi issues no setup
   // instructions, so that rung's stream is bit-identical to the historic
   // inline-Jacobi vcg; kCheby's power iterations run here, inside the

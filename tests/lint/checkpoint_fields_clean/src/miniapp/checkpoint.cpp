@@ -1,0 +1,23 @@
+// vecfd-lint fixture: checkpoint-fields CLEAN — every registered field is
+// mentioned in both directions.
+#include "miniapp/checkpoint.h"
+
+namespace vecfd::miniapp {
+
+std::vector<std::uint8_t> serialize_state(const TimeLoopCheckpoint& c) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(c.config_hash));
+  out.push_back(static_cast<std::uint8_t>(c.next_step));
+  out.push_back(static_cast<std::uint8_t>(c.unknowns.size()));
+  return out;
+}
+
+TimeLoopCheckpoint deserialize_state(const std::vector<std::uint8_t>& buf) {
+  TimeLoopCheckpoint c;
+  c.config_hash = buf.at(0);
+  c.next_step = buf.at(1);
+  c.unknowns.resize(buf.at(2));
+  return c;
+}
+
+}  // namespace vecfd::miniapp

@@ -1,0 +1,24 @@
+// vecfd-lint fixture: checkpoint-fields VIOLATION — `next_step` is written
+// by serialize_state but never restored by deserialize_state, the exact
+// drift the rule fences (a resumed run would restart from step 0 with
+// step-k fields and silently break bit-identity).
+#include "miniapp/checkpoint.h"
+
+namespace vecfd::miniapp {
+
+std::vector<std::uint8_t> serialize_state(const TimeLoopCheckpoint& c) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(c.config_hash));
+  out.push_back(static_cast<std::uint8_t>(c.next_step));
+  out.push_back(static_cast<std::uint8_t>(c.unknowns.size()));
+  return out;
+}
+
+TimeLoopCheckpoint deserialize_state(const std::vector<std::uint8_t>& buf) {  // EXPECT-FINDING(checkpoint-fields)
+  TimeLoopCheckpoint c;
+  c.config_hash = buf.at(0);
+  c.unknowns.resize(buf.at(2));
+  return c;
+}
+
+}  // namespace vecfd::miniapp

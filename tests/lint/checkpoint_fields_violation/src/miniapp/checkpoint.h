@@ -1,0 +1,23 @@
+// vecfd-lint fixture: checkpoint-fields VIOLATION (mini repo root).
+// Parsed only by tools/vecfd_lint.py --self-test via --repo-root.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+namespace vecfd::miniapp {
+
+#define VECFD_TIMELOOP_STATE(X) \
+  X(config_hash)                \
+  X(next_step)                  \
+  X(unknowns)
+
+struct TimeLoopCheckpoint {
+  std::uint64_t config_hash = 0;
+  std::int64_t next_step = 0;
+  std::vector<double> unknowns;
+};
+
+std::vector<std::uint8_t> serialize_state(const TimeLoopCheckpoint& c);
+TimeLoopCheckpoint deserialize_state(const std::vector<std::uint8_t>& buf);
+
+}  // namespace vecfd::miniapp

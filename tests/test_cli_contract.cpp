@@ -171,6 +171,94 @@ TEST(CliContract, InvalidArgumentsExitNonZeroAndNameTheFlag) {
   }
 }
 
+TEST(CliContract, FaultToleranceInvalidArgumentsNameTheFlag) {
+  const struct {
+    const char* args;
+    const char* flag;
+  } cases[] = {
+      {"--checkpoint-every", "--checkpoint-every"},  // missing value
+      {"--checkpoint-dir", "--checkpoint-dir"},
+      {"--resume", "--resume"},
+      {"--max-retries", "--max-retries"},
+      {"--fault-plan", "--fault-plan"},
+      {"--steps 1 --checkpoint-every 0 --checkpoint-dir /tmp/x",
+       "--checkpoint-every"},
+      {"--steps 1 --checkpoint-every -1 --checkpoint-dir /tmp/x",
+       "--checkpoint-every"},
+      {"--steps 1 --max-retries -1", "--max-retries"},
+      // every fault-tolerance knob needs a transient run
+      {"--checkpoint-every 1 --checkpoint-dir /tmp/x", "--checkpoint-every"},
+      {"--max-retries 2", "--max-retries"},
+      {"--fault-plan breakdown@0", "--fault-plan"},
+      {"--solve --max-retries 1", "--max-retries"},
+      // the checkpoint flags form a contract among themselves
+      {"--steps 1 --checkpoint-every 2", "--checkpoint-every"},
+      {"--steps 1 --checkpoint-dir /tmp/x", "--checkpoint-dir"},
+      {"--steps 1 --resume /tmp/x", "--resume"},
+      {"--steps 1 --checkpoint-every 1 --checkpoint-dir /tmp/x "
+       "--resume /tmp/x",
+       "--resume"},
+      // a malformed plan names --fault-plan, not a raw parse error
+      {"--steps 1 --mesh 3,3,3 --fault-plan bogus@0", "--fault-plan"},
+      {"--steps 1 --mesh 3,3,3 --fault-plan seed=1:faults=0", "--fault-plan"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(exit_code(c.args), 2) << c.args;
+    EXPECT_NE(stderr_of(c.args).find(c.flag), std::string::npos)
+        << c.args << " should name " << c.flag << " on stderr";
+  }
+}
+
+TEST(CliContract, ResumeRejectsMissingDirAndLeftoverTmp) {
+  const fs::path dir =
+      fs::temp_directory_path() / "vecfd_cli_resume_contract";
+  fs::remove_all(dir);
+
+  // nonexistent directory
+  const std::string args =
+      "--steps 2 --mesh 3,3,3 --vs 16 --checkpoint-every 1 --resume " +
+      dir.string();
+  EXPECT_EQ(exit_code(args), 2);
+  EXPECT_NE(stderr_of(args).find("--resume"), std::string::npos);
+
+  // a leftover partial write means the previous save died mid-rename:
+  // refuse to resume rather than silently load who-knows-what
+  fs::create_directories(dir);
+  std::ofstream(dir / "point_0.ckpt.tmp") << "partial";
+  EXPECT_EQ(exit_code(args), 2);
+  EXPECT_NE(stderr_of(args).find(".tmp"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CliContract, CheckpointThenResumeExitsZero) {
+  VECFD_SKIP_UNDER_ASAN();
+  const fs::path dir = fs::temp_directory_path() / "vecfd_cli_ckpt_run";
+  fs::remove_all(dir);
+  const std::string base = "--steps 2 --mesh 3,3,3 --vs 16 ";
+  ASSERT_EQ(exit_code(base + "--checkpoint-every 1 --checkpoint-dir " +
+                      dir.string()),
+            0);
+  EXPECT_TRUE(fs::exists(dir / "point_0.ckpt"));
+  EXPECT_FALSE(fs::exists(dir / "point_0.ckpt.tmp"));
+  EXPECT_EQ(exit_code(base + "--checkpoint-every 1 --resume " +
+                      dir.string()),
+            0);
+  fs::remove_all(dir);
+}
+
+TEST(CliContract, FaultPlanRunsExitByOutcome) {
+  VECFD_SKIP_UNDER_ASAN();
+  const std::string base = "--steps 2 --mesh 3,3,3 --vs 16 ";
+  // a completed-but-failed point is still a completed campaign: exit 0
+  EXPECT_EQ(exit_code(base + "--fault-plan breakdown@0.0"), 0);
+  // recovery on the retry ladder: exit 0
+  EXPECT_EQ(exit_code(base + "--fault-plan breakdown@0.0 --max-retries 2 "
+                             "--precond deflate"),
+            0);
+  // an unretried worker death leaves a point with no run at all: exit 1
+  EXPECT_EQ(exit_code(base + "--fault-plan worker-death@0"), 1);
+}
+
 TEST(CliContract, ParallelSweepCsvIsByteIdenticalToSerial) {
   VECFD_SKIP_UNDER_ASAN();
   const fs::path dir = fs::temp_directory_path();

@@ -18,6 +18,7 @@ namespace {
 
 using vecfd::core::FirstError;
 using vecfd::core::parallel_for_index;
+using vecfd::core::parallel_for_index_collect;
 
 TEST(ParallelStress, OversubscribedPoolCoversEveryIndexExactlyOnce) {
   // More workers than cores and more tasks than workers: each slot must be
@@ -100,6 +101,55 @@ TEST(ParallelStress, FirstErrorRecordRaceKeepsFirstNonNull) {
   });
   EXPECT_TRUE(err.failed());
   EXPECT_THROW(err.rethrow_if_set(), std::runtime_error);
+}
+
+TEST(ParallelStress, CollectModeRunsEveryIndexDespiteThrows) {
+  // The collect-all-errors mode never short-circuits: a throwing index must
+  // not stop its siblings (the per-point isolation contract of
+  // Campaign::run_points / run_points_ft).
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  const std::vector<std::exception_ptr> errors =
+      parallel_for_index_collect(n, 8, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        if (i % 7 == 0) throw std::runtime_error("e" + std::to_string(i));
+      });
+  ASSERT_EQ(errors.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    if (i % 7 == 0) {
+      ASSERT_NE(errors[i], nullptr) << "index " << i;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const std::runtime_error& e) {
+        // Each error lands in ITS index's slot, not just any slot.
+        EXPECT_EQ(std::string(e.what()), "e" + std::to_string(i));
+      }
+    } else {
+      EXPECT_EQ(errors[i], nullptr) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelStress, CollectModeSerialAndParallelAgree) {
+  const std::size_t n = 512;
+  const auto body = [](std::size_t i) {
+    if (i % 3 == 1) throw std::logic_error("x");
+  };
+  const auto serial = parallel_for_index_collect(n, 1, body);
+  const auto parallel = parallel_for_index_collect(n, 8, body);
+  ASSERT_EQ(serial.size(), n);
+  ASSERT_EQ(parallel.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(serial[i] == nullptr, parallel[i] == nullptr) << "index " << i;
+  }
+}
+
+TEST(ParallelStress, CollectModeAllCleanReturnsAllNull) {
+  const auto errors =
+      parallel_for_index_collect(1000, 8, [](std::size_t) {});
+  ASSERT_EQ(errors.size(), 1000u);
+  for (const std::exception_ptr& e : errors) EXPECT_EQ(e, nullptr);
 }
 
 TEST(ParallelStress, SerialFallbackMatchesParallelResult) {

@@ -121,11 +121,12 @@ TEST(TransientCampaign, CsvSchemaDerivesFromInstrumentedPhaseCount) {
   };
   EXPECT_EQ(count_cols(header), count_cols(row));
   // 24 identity/metric columns (incl. format/rcm/precond/shards and the
-  // gather-quality + halo counters), the ph block, and the 6-column
+  // gather-quality + halo counters), the ph block, the 6-column
   // convergence digest (iterations, divergence, convergence,
-  // solver_failures + pressure makespan)
+  // solver_failures + pressure makespan) and the 3-column retry digest
+  // (attempts, degraded, final_status — inert 1,0,ok on plain runs)
   EXPECT_EQ(count_cols(header),
-            24 + 3 * miniapp::kNumInstrumentedPhases + 6);
+            24 + 3 * miniapp::kNumInstrumentedPhases + 6 + 3);
   EXPECT_NE(header.find("vector_size,effective_strip"), std::string::npos);
 }
 

@@ -36,6 +36,11 @@ one fences):
                         only) and no std::unordered_map/set in the
                         CSV/report output layer — the two hazards that
                         break the byte-identical serial/parallel guarantee
+  checkpoint-fields     every field of the VECFD_TIMELOOP_STATE registry
+                        (miniapp/checkpoint.h) appears in BOTH
+                        serialize_state() and deserialize_state() — a field
+                        serialized but not restored (or vice versa)
+                        silently breaks restart bit-identity
 
 Engines: with the libclang python bindings installed (`python3-clang`),
 function boundaries/signatures come from a real clang parse (--engine
@@ -661,10 +666,10 @@ def _member_section(text: str, signature: str) -> str:
             return text[open_idx : match_braces(text, open_idx)]
 
 
-def _registry_block(stripped: str):
-    """(start, end) offsets of the `#define VECFD_COUNTERS(X)` macro body —
-    the define line plus every backslash-continued line — or None."""
-    m = re.search(r"#\s*define\s+VECFD_COUNTERS\s*\(", stripped)
+def _registry_block(stripped: str, macro: str = "VECFD_COUNTERS"):
+    """(start, end) offsets of the `#define <macro>(X)` macro body — the
+    define line plus every backslash-continued line — or None."""
+    m = re.search(r"#\s*define\s+" + macro + r"\s*\(", stripped)
     if not m:
         return None
     end = m.start()
@@ -823,6 +828,81 @@ def rule_counter_registry(repo_root: str) -> list:
                 )
                 if not inline_suppressed(consumer, f):
                     findings.append(f)
+    return findings
+
+
+_STATE_ENTRY_RE = re.compile(r"^\s*X\(\s*(\w+)\s*\)", re.M)
+
+
+@rule(
+    "checkpoint-fields",
+    "the TimeLoop checkpoint state is an X-macro registry "
+    "(VECFD_TIMELOOP_STATE in miniapp/checkpoint.h): every registered "
+    "field must appear in BOTH serialize_state() and deserialize_state() "
+    "(miniapp/checkpoint.cpp) — a field written but never restored (or "
+    "restored but never written) silently breaks the checkpoint/restart "
+    "bit-identity contract instead of failing a build",
+)
+def rule_checkpoint_fields(repo_root: str) -> list:
+    header = _load_stripped(repo_root, "src/miniapp/checkpoint.h")
+    if header is None:
+        return []
+    findings = []
+
+    block = _registry_block(header.stripped, "VECFD_TIMELOOP_STATE")
+    if block is None:
+        return [
+            Finding(
+                "src/miniapp/checkpoint.h", 1, "checkpoint-fields",
+                "no VECFD_TIMELOOP_STATE X-macro registry — checkpoint "
+                "fields must be declared through the registry so "
+                "serialize/deserialize coverage is checkable",
+            )
+        ]
+    fields = _STATE_ENTRY_RE.findall(header.stripped[block[0] : block[1]])
+    if not fields:
+        return [
+            Finding(
+                "src/miniapp/checkpoint.h", line_of(header.stripped, block[0]),
+                "checkpoint-fields",
+                "VECFD_TIMELOOP_STATE registry is empty",
+            )
+        ]
+
+    impl = _load_stripped(repo_root, "src/miniapp/checkpoint.cpp")
+    if impl is None:
+        return [
+            Finding(
+                "src/miniapp/checkpoint.h", line_of(header.stripped, block[0]),
+                "checkpoint-fields",
+                "VECFD_TIMELOOP_STATE registry has no implementation file "
+                "(src/miniapp/checkpoint.cpp)",
+            )
+        ]
+    for func in ("serialize_state", "deserialize_state"):
+        body = _member_section(impl.stripped, func)
+        if not body:
+            findings.append(
+                Finding(
+                    "src/miniapp/checkpoint.cpp", 1, "checkpoint-fields",
+                    f"{func}() has no definition in checkpoint.cpp",
+                )
+            )
+            continue
+        pos = impl.stripped.find(func)
+        for name in fields:
+            if not re.search(rf"\b{name}\b", body):
+                findings.append(
+                    Finding(
+                        "src/miniapp/checkpoint.cpp",
+                        line_of(impl.stripped, pos),
+                        "checkpoint-fields",
+                        f"{func}() never mentions registered checkpoint "
+                        f"field `{name}` (VECFD_TIMELOOP_STATE); a field "
+                        "covered in only one direction breaks restart "
+                        "bit-identity",
+                    )
+                )
     return findings
 
 
@@ -1000,6 +1080,12 @@ _FILE_RULES = [
     rule_strip_mine,
     rule_determinism_audit,
 ]
+# Repo-level rules: they inspect fixed files relative to a repo root (the
+# real one, or a mini-root fixture dir under tests/lint/).
+_REPO_RULES = [
+    rule_counter_registry,
+    rule_checkpoint_fields,
+]
 
 
 def scan_file(abspath: str, relpath: str, engine: str, repo_root: str) -> list:
@@ -1027,7 +1113,8 @@ def scan_tree(repo_root: str, paths: list, engine: str) -> list:
                 fp = os.path.join(dirpath, name)
                 rel = os.path.relpath(fp, repo_root)
                 findings.extend(scan_file(fp, rel, engine, repo_root))
-    findings.extend(rule_counter_registry(repo_root))
+    for repo_rule in _REPO_RULES:
+        findings.extend(repo_rule(repo_root))
     return findings
 
 
@@ -1083,9 +1170,10 @@ def self_test(repo_root: str, engine: str) -> int:
         elif os.path.isdir(path) and os.path.isdir(
             os.path.join(path, "src")
         ):
-            # counter-registry fixtures: a mini repo root.  Findings can land
-            # in counters.h or in any registry consumer, so EXPECT markers
-            # are collected from every file and keyed by repo-relative path.
+            # Repo-level-rule fixtures: a mini repo root.  Every repo rule
+            # runs against it (each skips when its files are absent), and
+            # findings can land in any file, so EXPECT markers are
+            # collected from every file and keyed by repo-relative path.
             want = []
             for dirpath, _dn, filenames in os.walk(path):
                 for fname in sorted(filenames):
@@ -1100,7 +1188,9 @@ def self_test(repo_root: str, engine: str) -> int:
                         for m in _EXPECT_RE.finditer(text)
                     )
             got = [
-                (f.path, f.line, f.rule) for f in rule_counter_registry(path)
+                (f.path, f.line, f.rule)
+                for repo_rule in _REPO_RULES
+                for f in repo_rule(path)
             ]
             check(name + "/", got, want)
 

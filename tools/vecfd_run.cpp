@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -40,6 +41,7 @@
 #include "miniapp/driver.h"
 #include "miniapp/scenarios.h"
 #include "miniapp/time_loop.h"
+#include "sim/fault_injection.h"
 #include "trace/paraver.h"
 #include "trace/vehave_trace.h"
 
@@ -68,6 +70,11 @@ struct Options {
   int nx = 16, ny = 20, nz = 24;
   std::optional<std::string> csv_path;
   std::optional<std::string> prv_base;
+  int checkpoint_every = 0;  ///< > 0 enables the epoch checkpoint protocol
+  std::optional<std::string> checkpoint_dir;
+  std::optional<std::string> resume_dir;
+  int max_retries = 0;
+  std::optional<std::string> fault_plan;
 
   bool transient() const { return steps > 0 || scenario.has_value(); }
 };
@@ -106,6 +113,25 @@ void usage(std::ostream& os) {
         "                1 = serial)\n"
         "  --mesh X,Y,Z  elements per axis     (default 16,20,24)\n"
         "  --csv FILE    append measurement rows as CSV\n"
+        "  --checkpoint-every N\n"
+        "                transient runs: checkpoint every N steps (epoch\n"
+        "                protocol, DESIGN.md S10); needs --checkpoint-dir\n"
+        "                or --resume\n"
+        "  --checkpoint-dir D\n"
+        "                directory for point_<i>.ckpt files (created if\n"
+        "                missing)\n"
+        "  --resume D    resume every point from its checkpoint in D (same\n"
+        "                config and --checkpoint-every as the original run;\n"
+        "                the resumed campaign is bit-identical to an\n"
+        "                uninterrupted one at that cadence)\n"
+        "  --max-retries N\n"
+        "                retry failed points up to N times, stepping down\n"
+        "                the degradation ladder (deflate->cheby->jacobi,\n"
+        "                shards->1, sell->ell->csr) each retry (default 0)\n"
+        "  --fault-plan P\n"
+        "                deterministic fault injection: 'kind@point[.step]'\n"
+        "                entries joined with ';' (kinds: breakdown, nan-rhs,\n"
+        "                zero-diag, worker-death) or 'seed=S[:faults=N]'\n"
         "  --prv BASE    write BASE.prv/BASE.pcf Paraver trace (single run)\n"
         "  --advise      print co-design Advisor findings\n"
         "  --remarks     print the compiler model's vectorization remarks\n"
@@ -236,6 +262,36 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return fail(a, "missing value");
       opt.csv_path = v;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      const auto n = parse_int(v);
+      if (!n || *n <= 0) {
+        return fail(a, "invalid checkpoint cadence '" + std::string(v) +
+                           "' (want a positive step count)");
+      }
+      opt.checkpoint_every = *n;
+    } else if (a == "--checkpoint-dir") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      opt.checkpoint_dir = v;
+    } else if (a == "--resume") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      opt.resume_dir = v;
+    } else if (a == "--max-retries") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      const auto n = parse_int(v);
+      if (!n || *n < 0) {
+        return fail(a, "invalid retry budget '" + std::string(v) +
+                           "' (want 0 or a positive integer)");
+      }
+      opt.max_retries = *n;
+    } else if (a == "--fault-plan") {
+      const char* v = next();
+      if (!v) return fail(a, "missing value");
+      opt.fault_plan = v;
     } else if (a == "--prv") {
       const char* v = next();
       if (!v) return fail(a, "missing value");
@@ -263,18 +319,32 @@ void print_remarks(const sim::MachineConfig& machine,
   std::cout << '\n';
 }
 
-/// Open @p path and serialize @p rows with @p writer (--csv).  Returns the
-/// process exit code so both the single-run and transient paths share one
-/// error policy.
+/// Serialize @p rows with @p writer (--csv), atomically: the rows land in
+/// `path + ".tmp"` and are renamed over @p path only once fully written, so
+/// a killed process never leaves a truncated CSV under the real name.
+/// Returns the process exit code so both the single-run and transient paths
+/// share one error policy.
 template <class Rows, class Writer>
 int write_csv_file(const std::string& path, const Rows& rows, Writer writer,
                    const char* what) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot open " << path << '\n';
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) {
+      std::cerr << "cannot open " << tmp << '\n';
+      return 2;
+    }
+    writer(os, rows);
+    if (!os) {
+      std::cerr << "write failed: " << tmp << '\n';
+      return 2;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << "cannot rename " << tmp << " to " << path << '\n';
+    std::remove(tmp.c_str());
     return 2;
   }
-  writer(os, rows);
   std::cout << "wrote " << rows.size() << ' ' << what << " to " << path
             << '\n';
   return 0;
@@ -325,10 +395,40 @@ void print_campaign_run(const core::CampaignRun& r) {
   std::cout << '\n';
 }
 
+/// Print one fault-tolerant outcome: the run (when one completed) plus the
+/// retry digest; a point whose final attempt never ran prints its error.
+void print_campaign_outcome(std::size_t index,
+                            const core::CampaignOutcome& o) {
+  if (!o.error.empty()) {
+    std::cout << o.run.scenario << " / " << o.run.point.machine.name
+              << " / VECTOR_SIZE=" << o.run.point.vector_size << '\n'
+              << "  point " << index << " FAILED after " << o.attempts
+              << (o.attempts == 1 ? " attempt: " : " attempts: ") << o.error
+              << '\n';
+    return;
+  }
+  print_campaign_run(o.run);
+  if (o.attempts > 1 || o.final_status != "ok") {
+    std::cout << "  retry ladder: " << o.attempts << " attempts, status "
+              << o.final_status;
+    if (o.degraded) {
+      std::cout << " (degraded from "
+                << solver::to_string(o.requested.precond)
+                << "/shards=" << o.requested.shards << '/'
+                << to_string(o.requested.format) << " to "
+                << solver::to_string(o.run.point.precond)
+                << "/shards=" << o.run.point.shards << '/'
+                << to_string(o.run.point.format) << ')';
+    }
+    std::cout << '\n';
+  }
+}
+
 /// The transient path: a single TimeLoop run, or (--sweep) the full
 /// campaign over scenario x platform x VECTOR_SIZE.
 int run_transient(const Options& opts, const sim::MachineConfig& machine,
-                  miniapp::OptLevel level, solver::SpmvFormat format) {
+                  miniapp::OptLevel level, solver::SpmvFormat format,
+                  sim::FaultPlan fault_plan) {
   solver::PrecondKind precond = solver::PrecondKind::kJacobi;
   solver::precond_from_string(opts.precond, precond);  // validated by caller
   std::vector<miniapp::Scenario> scens;
@@ -387,9 +487,34 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
     }
   }
 
-  const auto runs = camp.run_points(points, opts.jobs);
-  for (const auto& r : runs) {
-    print_campaign_run(r);
+  core::CampaignFtOptions ft;
+  ft.retry.max_retries = opts.max_retries;
+  ft.checkpoint_every = opts.checkpoint_every;
+  if (opts.resume_dir) {
+    ft.checkpoint_dir = *opts.resume_dir;
+    ft.resume = true;
+  } else if (opts.checkpoint_dir) {
+    ft.checkpoint_dir = *opts.checkpoint_dir;
+    std::error_code ec;
+    std::filesystem::create_directories(ft.checkpoint_dir, ec);
+    if (ec) {
+      std::cerr << "vecfd-run: --checkpoint-dir: cannot create '"
+                << ft.checkpoint_dir << "': " << ec.message() << '\n';
+      return 2;
+    }
+  }
+  if (!fault_plan.empty()) {
+    // Seeded plans draw their (kind, point, step) triples from the actual
+    // campaign shape; explicit plans are validated against it.
+    fault_plan.materialize(static_cast<int>(points.size()), opts.steps);
+    ft.faults = &fault_plan;
+  }
+
+  const auto outcomes = camp.run_points_ft(points, ft, opts.jobs);
+  bool any_dead = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    print_campaign_outcome(i, outcomes[i]);
+    if (!outcomes[i].error.empty()) any_dead = true;
     std::cout << '\n';
   }
 
@@ -402,14 +527,18 @@ int run_transient(const Options& opts, const sim::MachineConfig& machine,
   }
 
   if (opts.csv_path) {
-    return write_csv_file(
-        *opts.csv_path, runs,
-        [](std::ostream& os, const std::vector<core::CampaignRun>& rs) {
-          core::write_campaign_csv(os, rs);
+    const int rc = write_csv_file(
+        *opts.csv_path, outcomes,
+        [](std::ostream& os, const std::vector<core::CampaignOutcome>& os2) {
+          core::write_campaign_csv(os, os2);
         },
         "campaign rows");
+    if (rc != 0) return rc;
   }
-  return 0;
+  // A completed-but-failed run keeps exit 0 (its status is in the CSV, the
+  // historic zero-diagonal demo behaviour); only a point that never
+  // produced a run — e.g. an un-retried worker death — fails the process.
+  return any_dead ? 1 : 0;
 }
 
 void print_measurement(const core::Measurement& m) {
@@ -505,6 +634,64 @@ int main(int argc, char** argv) {
                      "sharding decomposes the phase-10 pressure solve)");
     return 2;
   }
+  if (!opts.transient()) {
+    const char* ft_flag = opts.checkpoint_every > 0 ? "--checkpoint-every"
+                          : opts.checkpoint_dir    ? "--checkpoint-dir"
+                          : opts.resume_dir        ? "--resume"
+                          : opts.max_retries > 0   ? "--max-retries"
+                          : opts.fault_plan        ? "--fault-plan"
+                                                   : nullptr;
+    if (ft_flag) {
+      fail(ft_flag, "requires a transient run (add --steps or --scenario; "
+                    "fault tolerance applies to transient campaigns)");
+      return 2;
+    }
+  }
+  if (opts.checkpoint_dir && opts.resume_dir) {
+    fail("--checkpoint-dir", "incompatible with --resume (a resumed "
+                             "campaign checkpoints back into the directory "
+                             "it resumes from)");
+    return 2;
+  }
+  if (opts.checkpoint_every > 0 && !opts.checkpoint_dir &&
+      !opts.resume_dir) {
+    fail("--checkpoint-every", "requires --checkpoint-dir or --resume "
+                               "(somewhere to put the checkpoints)");
+    return 2;
+  }
+  if ((opts.checkpoint_dir || opts.resume_dir) &&
+      opts.checkpoint_every <= 0) {
+    fail(opts.checkpoint_dir ? "--checkpoint-dir" : "--resume",
+         "requires --checkpoint-every (the cadence defines the epoch "
+         "protocol, and a resume must replay the original cadence)");
+    return 2;
+  }
+  if (opts.resume_dir) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(*opts.resume_dir, ec)) {
+      fail("--resume", "'" + *opts.resume_dir + "' is not a directory");
+      return 2;
+    }
+    for (const auto& entry :
+         std::filesystem::directory_iterator(*opts.resume_dir, ec)) {
+      if (entry.path().extension() == ".tmp") {
+        fail("--resume",
+             "leftover partial checkpoint '" + entry.path().string() +
+                 "' (an interrupted save; delete it to resume from the "
+                 "last complete checkpoint)");
+        return 2;
+      }
+    }
+  }
+  sim::FaultPlan fault_plan;
+  if (opts.fault_plan) {
+    try {
+      fault_plan = sim::FaultPlan::parse(*opts.fault_plan);
+    } catch (const std::invalid_argument& e) {
+      fail("--fault-plan", e.what());
+      return 2;
+    }
+  }
 
   if (opts.transient()) {
     if (!opts.scheme_set) {
@@ -530,7 +717,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (opts.steps == 0) opts.steps = 5;  // --scenario implies a short loop
-    return run_transient(opts, *machine, *level, format);
+    return run_transient(opts, *machine, *level, format,
+                         std::move(fault_plan));
   }
 
   const fem::Mesh mesh({.nx = opts.nx, .ny = opts.ny, .nz = opts.nz});
